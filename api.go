@@ -1,0 +1,347 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/syncgossip"
+	"repro/internal/trace"
+)
+
+// Aliases into the model layer, for users extending the library with
+// custom protocols, adversaries or tracers.
+type (
+	// Time is a discrete simulation step.
+	Time = sim.Time
+	// ProcID identifies a process (0..N-1).
+	ProcID = sim.ProcID
+	// Node is a protocol state machine (implement to add protocols).
+	Node = sim.Node
+	// Outbox collects a node's sends during a step.
+	Outbox = sim.Outbox
+	// Message is a point-to-point message.
+	Message = sim.Message
+	// Adversary controls scheduling, delays and crashes.
+	Adversary = sim.Adversary
+	// Tracer observes simulation events.
+	Tracer = sim.Tracer
+	// Protocol is a gossip protocol family (node factory + evaluator).
+	Protocol = core.Protocol
+	// ProtocolParams carries protocol tuning knobs.
+	ProtocolParams = core.Params
+	// LowerBoundReport is the outcome of the Theorem 1 adversary.
+	LowerBoundReport = lowerbound.Report
+)
+
+// Gossip protocol names accepted by GossipConfig.Protocol.
+const (
+	ProtoTrivial           = core.NameTrivial
+	ProtoEARS              = core.NameEARS
+	ProtoSEARS             = core.NameSEARS
+	ProtoTEARS             = core.NameTEARS
+	ProtoSyncEpidemic      = syncgossip.NameSyncEpidemic
+	ProtoSyncDeterministic = syncgossip.NameSyncDeterministic
+)
+
+// Adversary preset names accepted by the Adversary fields.
+const (
+	AdversaryBenign     = adversary.PresetBenign
+	AdversaryStandard   = adversary.PresetStandard
+	AdversaryCrashStorm = adversary.PresetCrashStorm
+	AdversaryMaxDelay   = adversary.PresetMaxDelay
+	AdversaryStaggered  = adversary.PresetStaggered
+)
+
+// Consensus transport names accepted by ConsensusConfig.Transport.
+const (
+	TransportDirect = string(consensus.TransportDirect)
+	TransportEARS   = string(consensus.TransportEARS)
+	TransportSEARS  = string(consensus.TransportSEARS)
+	TransportTEARS  = string(consensus.TransportTEARS)
+)
+
+// GossipConfig configures RunGossip. Zero values default to: EARS, the
+// standard oblivious adversary, d = δ = 1, no failures.
+type GossipConfig struct {
+	// Protocol is one of the Proto* constants.
+	Protocol string
+	// N is the number of processes (required).
+	N int
+	// F is the number of crash failures the adversary may inject.
+	F int
+	// D and Delta are the execution's delay and speed bounds (≥ 1); the
+	// asynchronous protocols do not know them.
+	D, Delta int
+	// Adversary is one of the Adversary* presets.
+	Adversary string
+	// Seed makes the run reproducible.
+	Seed int64
+	// Tuning overrides protocol constants (optional).
+	Tuning ProtocolParams
+	// MaxSteps caps the run (0 = generous default).
+	MaxSteps int64
+	// Timeline, when true, records an ASCII space–time diagram of the run
+	// in the result (intended for small N; the drawing is clipped at 160
+	// time steps).
+	Timeline bool
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.Protocol == "" {
+		c.Protocol = ProtoEARS
+	}
+	if c.Adversary == "" {
+		c.Adversary = AdversaryStandard
+	}
+	if c.D == 0 {
+		c.D = 1
+	}
+	if c.Delta == 0 {
+		c.Delta = 1
+	}
+	return c
+}
+
+// GossipResult reports a gossip run.
+type GossipResult struct {
+	// Completed: the protocol achieved its promise (full or majority
+	// gossip) and went quiescent.
+	Completed bool
+	// TimeSteps is the paper's time complexity: the step by which every
+	// correct process had gathered what it must and all sending stopped.
+	TimeSteps int64
+	// Messages is the total number of point-to-point messages.
+	Messages int64
+	// Bytes approximates total payload bytes (bit-complexity extension).
+	Bytes int64
+	// Crashes is the number of processes the adversary crashed.
+	Crashes int
+	// Crashed lists the crashed process IDs.
+	Crashed []int
+	// Rumors[p] lists the rumor origins known to process p at the end.
+	Rumors [][]int
+	// Timeline is the rendered space–time diagram (GossipConfig.Timeline).
+	Timeline string
+}
+
+// RunGossip simulates one gossip execution.
+func RunGossip(cfg GossipConfig) (*GossipResult, error) {
+	cfg = cfg.withDefaults()
+	proto, err := gossipProtoByName(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.Tuning
+	p.N, p.F = cfg.N, cfg.F
+	nodes, err := core.NewNodes(proto, p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		N: cfg.N, F: cfg.F,
+		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
+		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
+	}
+	adv, err := adversary.ByName(cfg.Adversary, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.NewWorld(simCfg, nodes, adv)
+	if err != nil {
+		return nil, err
+	}
+	var tl *trace.Timeline
+	if cfg.Timeline {
+		tl = trace.NewTimeline(cfg.N, 160)
+		w.SetTracer(tl)
+	}
+	res, runErr := w.Run(proto.Evaluator(p.WithDefaults()))
+	out := &GossipResult{
+		Completed: res.Completed,
+		TimeSteps: int64(res.TimeComplexity),
+		Messages:  res.Messages,
+		Bytes:     res.Bytes,
+		Crashes:   res.Crashes,
+	}
+	if tl != nil {
+		out.Timeline = tl.Render()
+	}
+	for q := 0; q < cfg.N; q++ {
+		if !w.Alive(sim.ProcID(q)) {
+			out.Crashed = append(out.Crashed, q)
+		}
+		if h, ok := nodes[q].(core.RumorHolder); ok {
+			out.Rumors = append(out.Rumors, h.RumorSet().Elements())
+		} else {
+			out.Rumors = append(out.Rumors, nil)
+		}
+	}
+	if runErr != nil {
+		return out, fmt.Errorf("repro: gossip run failed: %w", runErr)
+	}
+	return out, nil
+}
+
+func gossipProtoByName(name string) (core.Protocol, error) {
+	if p, err := core.ByName(name); err == nil {
+		return p, nil
+	}
+	if p, err := syncgossip.ByName(name); err == nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("repro: unknown gossip protocol %q", name)
+}
+
+// ConsensusConfig configures RunConsensus. Zero values default to: the
+// tears transport, standard adversary, d = δ = 1, random inputs.
+type ConsensusConfig struct {
+	// Transport is one of the Transport* constants.
+	Transport string
+	// N is the number of processes; F < N/2 the failure budget.
+	N, F int
+	// D, Delta as in GossipConfig.
+	D, Delta int
+	// Adversary is one of the Adversary* presets.
+	Adversary string
+	// Seed makes the run reproducible.
+	Seed int64
+	// Inputs are the binary proposals (nil = seeded random).
+	Inputs []uint8
+	// LocalCoin swaps the common coin for Ben-Or local coins (ablation).
+	LocalCoin bool
+	// Tuning overrides gossip-transport constants (optional).
+	Tuning ProtocolParams
+	// MaxSteps caps the run (0 = generous default).
+	MaxSteps int64
+}
+
+func (c ConsensusConfig) withDefaults() ConsensusConfig {
+	if c.Transport == "" {
+		c.Transport = TransportTEARS
+	}
+	if c.Adversary == "" {
+		c.Adversary = AdversaryStandard
+	}
+	if c.D == 0 {
+		c.D = 1
+	}
+	if c.Delta == 0 {
+		c.Delta = 1
+	}
+	return c
+}
+
+// ConsensusResult reports a consensus run.
+type ConsensusResult struct {
+	// Completed: every correct process decided, decisions agree and are
+	// valid.
+	Completed bool
+	// Decision is the agreed value.
+	Decision uint8
+	// TimeSteps is the step at which the last correct process decided.
+	TimeSteps int64
+	// Messages is the total number of point-to-point messages.
+	Messages int64
+	// Bytes approximates total payload bytes.
+	Bytes int64
+	// Crashes is the number of crashed processes.
+	Crashes int
+	// MaxRounds is the largest voting-round count over correct processes.
+	MaxRounds int
+	// Inputs echoes the proposals used.
+	Inputs []uint8
+}
+
+// RunConsensus simulates one consensus execution.
+func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
+	cfg = cfg.withDefaults()
+	p := consensus.Params{
+		N: cfg.N, F: cfg.F,
+		Transport: consensus.TransportKind(cfg.Transport),
+		Gossip:    cfg.Tuning,
+	}
+	if cfg.LocalCoin {
+		p.Coin = consensus.NewLocalCoin(cfg.Seed)
+	}
+	inputs := cfg.Inputs
+	if inputs == nil {
+		inputs = consensus.RandomInputs(cfg.N, cfg.Seed)
+	}
+	nodes, err := consensus.NewNodes(p, inputs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		N: cfg.N, F: cfg.F,
+		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
+		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
+	}
+	adv, err := adversary.ByName(cfg.Adversary, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.NewWorld(simCfg, nodes, adv)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := w.Run(consensus.Evaluator{Inputs: inputs})
+	out := &ConsensusResult{
+		Completed: res.Completed,
+		TimeSteps: int64(res.CompletedAt),
+		Messages:  res.Messages,
+		Bytes:     res.Bytes,
+		Crashes:   res.Crashes,
+		Inputs:    inputs,
+	}
+	for q := 0; q < cfg.N; q++ {
+		cn := nodes[q].(*consensus.Node)
+		if decided, v, _ := cn.Decided(); decided {
+			out.Decision = v
+		}
+		if w.Alive(sim.ProcID(q)) && cn.Rounds() > out.MaxRounds {
+			out.MaxRounds = cn.Rounds()
+		}
+	}
+	if runErr != nil {
+		return out, fmt.Errorf("repro: consensus run failed: %w", runErr)
+	}
+	return out, nil
+}
+
+// LowerBoundConfig configures RunLowerBound.
+type LowerBoundConfig struct {
+	// Protocol is one of the asynchronous Proto* constants.
+	Protocol string
+	// N is the number of processes; F the failure budget (capped at N/4
+	// by the Theorem 1 strategy).
+	N, F int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Trials sets the adversary's Monte Carlo precision (default 32).
+	Trials int
+}
+
+// RunLowerBound runs the Theorem 1 adaptive adversary against a protocol
+// and reports which side of the Ω(n+f²) messages / Ω(f(d+δ)) time
+// dichotomy it forced.
+func RunLowerBound(cfg LowerBoundConfig) (LowerBoundReport, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtoEARS
+	}
+	proto, err := core.ByName(cfg.Protocol)
+	if err != nil {
+		return LowerBoundReport{}, err
+	}
+	return lowerbound.Run(proto, core.Params{}, lowerbound.Config{
+		N: cfg.N, F: cfg.F, Seed: cfg.Seed, Trials: cfg.Trials,
+	})
+}
+
+// NewRand exposes the library's deterministic RNG for examples that need
+// reproducible workload generation alongside the simulator.
+func NewRand(seed int64) *rng.RNG { return rng.New(seed) }

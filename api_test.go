@@ -1,0 +1,162 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGossipDefaults(t *testing.T) {
+	res, err := RunGossip(GossipConfig{N: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	if len(res.Rumors) != 32 {
+		t.Fatalf("rumor sets: %d", len(res.Rumors))
+	}
+	for p, rs := range res.Rumors {
+		if len(rs) != 32 {
+			t.Fatalf("process %d knows %d rumors, want 32", p, len(rs))
+		}
+	}
+}
+
+func TestRunGossipAllProtocols(t *testing.T) {
+	for _, proto := range []string{
+		ProtoTrivial, ProtoEARS, ProtoSEARS, ProtoTEARS,
+		ProtoSyncEpidemic, ProtoSyncDeterministic,
+	} {
+		cfg := GossipConfig{Protocol: proto, N: 32, F: 8, D: 2, Delta: 2, Seed: 2}
+		if proto == ProtoSyncEpidemic || proto == ProtoSyncDeterministic {
+			cfg.D, cfg.Delta = 1, 1 // sync baselines assume d = δ = 1
+		}
+		res, err := RunGossip(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: not completed", proto)
+		}
+	}
+}
+
+func TestRunGossipCrashReporting(t *testing.T) {
+	res, err := RunGossip(GossipConfig{
+		Protocol: ProtoEARS, N: 24, F: 6, Adversary: AdversaryCrashStorm, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 6 || len(res.Crashed) != 6 {
+		t.Fatalf("crash accounting: %d / %v", res.Crashes, res.Crashed)
+	}
+}
+
+func TestRunGossipErrors(t *testing.T) {
+	if _, err := RunGossip(GossipConfig{Protocol: "nope", N: 8}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := RunGossip(GossipConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := RunGossip(GossipConfig{N: 8, Adversary: "nope"}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestRunConsensusAllTransports(t *testing.T) {
+	for _, tr := range []string{TransportDirect, TransportEARS, TransportSEARS, TransportTEARS} {
+		res, err := RunConsensus(ConsensusConfig{
+			Transport: tr, N: 24, F: 11, D: 2, Delta: 2, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: not completed", tr)
+		}
+		if res.Decision > 1 {
+			t.Fatalf("%s: non-binary decision %d", tr, res.Decision)
+		}
+	}
+}
+
+func TestRunConsensusUnanimous(t *testing.T) {
+	inputs := make([]uint8, 16)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	res, err := RunConsensus(ConsensusConfig{N: 16, F: 7, Inputs: inputs, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != 1 {
+		t.Fatalf("decision %d on unanimous 1", res.Decision)
+	}
+}
+
+func TestRunConsensusValidation(t *testing.T) {
+	if _, err := RunConsensus(ConsensusConfig{N: 8, F: 4}); err == nil {
+		t.Fatal("F = N/2 accepted")
+	}
+}
+
+func TestRunLowerBound(t *testing.T) {
+	rep, err := RunLowerBound(LowerBoundConfig{Protocol: ProtoEARS, N: 96, F: 24, Seed: 6, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Satisfied() {
+		t.Fatalf("dichotomy not witnessed: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "case=") {
+		t.Fatalf("report string: %s", rep)
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a, err := RunGossip(GossipConfig{Protocol: ProtoTEARS, N: 64, F: 31, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGossip(GossipConfig{Protocol: ProtoTEARS, N: 64, F: 31, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.TimeSteps != b.TimeSteps {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestRunGossipTimeline(t *testing.T) {
+	res, err := RunGossip(GossipConfig{Protocol: ProtoTEARS, N: 10, F: 2, Seed: 3, Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Timeline, "legend:") || !strings.Contains(res.Timeline, "p0") {
+		t.Fatalf("timeline missing:\n%s", res.Timeline)
+	}
+	// Without the flag, no timeline is rendered.
+	res2, err := RunGossip(GossipConfig{Protocol: ProtoTEARS, N: 10, F: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Timeline != "" {
+		t.Fatal("timeline rendered without being requested")
+	}
+}
+
+func TestRunGossipPartitionPreset(t *testing.T) {
+	res, err := RunGossip(GossipConfig{
+		Protocol: ProtoEARS, N: 32, F: 0, D: 8, Delta: 2,
+		Adversary: "partition", Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+}

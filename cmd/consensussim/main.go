@@ -1,0 +1,66 @@
+// Command consensussim runs a single randomized-consensus simulation
+// (Canetti–Rabin framework over the chosen get-core transport) and prints
+// the decision and complexity measures.
+//
+// Example:
+//
+//	consensussim -transport tears -n 128 -f 63 -d 2 -delta 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "consensussim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("consensussim", flag.ContinueOnError)
+	var (
+		tr    = fs.String("transport", repro.TransportTEARS, "get-core transport: direct|ears|sears|tears")
+		n     = fs.Int("n", 64, "number of processes")
+		f     = fs.Int("f", 31, "crash budget (must be < n/2)")
+		d     = fs.Int("d", 2, "max message delay")
+		delta = fs.Int("delta", 2, "max scheduling gap")
+		adv   = fs.String("adversary", repro.AdversaryStandard, "adversary preset")
+		seed  = fs.Int64("seed", 1, "random seed")
+		local = fs.Bool("localcoin", false, "use Ben-Or local coins instead of the common coin")
+		runs  = fs.Int("runs", 1, "number of seeds to run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; i < *runs; i++ {
+		res, err := repro.RunConsensus(repro.ConsensusConfig{
+			Transport: *tr,
+			N:         *n,
+			F:         *f,
+			D:         *d,
+			Delta:     *delta,
+			Adversary: *adv,
+			Seed:      *seed + int64(i),
+			LocalCoin: *local,
+		})
+		if err != nil {
+			return err
+		}
+		ones := 0
+		for _, v := range res.Inputs {
+			ones += int(v)
+		}
+		fmt.Fprintf(out, "CR-%s n=%d f=%d d=%d δ=%d seed=%d inputs(1s)=%d/%d\n",
+			*tr, *n, *f, *d, *delta, *seed+int64(i), ones, *n)
+		fmt.Fprintf(out, "  decided=%d rounds=%d time=%d steps messages=%d crashes=%d\n",
+			res.Decision, res.MaxRounds, res.TimeSteps, res.Messages, res.Crashes)
+	}
+	return nil
+}

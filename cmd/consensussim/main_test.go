@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDirect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-transport", "direct", "-n", "16", "-f", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CR-direct", "decided=", "rounds="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLocalCoin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-transport", "direct", "-n", "8", "-f", "3", "-localcoin"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMajorityFailures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "8", "-f", "4"}, &buf); err == nil {
+		t.Fatal("f = n/2 accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command gossipsim runs a single gossip simulation and prints the paper's
+// complexity measures.
+//
+// Example:
+//
+//	gossipsim -proto ears -n 256 -f 64 -d 4 -delta 2 -adversary standard -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	var (
+		proto = fs.String("proto", repro.ProtoEARS, "protocol: trivial|ears|sears|tears|sync-epidemic|sync-deterministic")
+		n     = fs.Int("n", 128, "number of processes")
+		f     = fs.Int("f", 32, "crash budget")
+		d     = fs.Int("d", 2, "max message delay")
+		delta = fs.Int("delta", 2, "max scheduling gap")
+		adv   = fs.String("adversary", repro.AdversaryStandard, "adversary preset: benign|standard|crashstorm|maxdelay|staggered")
+		seed  = fs.Int64("seed", 1, "random seed")
+		eps   = fs.Float64("epsilon", 0, "sears fan-out exponent (0 = default 0.5)")
+		runs  = fs.Int("runs", 1, "number of seeds to run (seed, seed+1, ...)")
+		verbt = fs.Bool("rumors", false, "print per-process rumor counts")
+		tline = fs.Bool("timeline", false, "render an ASCII space-time diagram (small n)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for i := 0; i < *runs; i++ {
+		cfg := repro.GossipConfig{
+			Protocol:  *proto,
+			N:         *n,
+			F:         *f,
+			D:         *d,
+			Delta:     *delta,
+			Adversary: *adv,
+			Seed:      *seed + int64(i),
+		}
+		cfg.Tuning.Epsilon = *eps
+		cfg.Timeline = *tline
+		res, err := repro.RunGossip(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "proto=%s n=%d f=%d d=%d δ=%d adversary=%s seed=%d\n",
+			*proto, *n, *f, *d, *delta, *adv, *seed+int64(i))
+		fmt.Fprintf(out, "  completed=%v time=%d steps messages=%d bytes=%d crashes=%d\n",
+			res.Completed, res.TimeSteps, res.Messages, res.Bytes, res.Crashes)
+		if *verbt {
+			for p, rs := range res.Rumors {
+				fmt.Fprintf(out, "  process %3d: %d rumors\n", p, len(rs))
+			}
+		}
+		if *tline {
+			fmt.Fprint(out, res.Timeline)
+		}
+	}
+	return nil
+}

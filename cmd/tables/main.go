@@ -1,0 +1,134 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	tables -exp table1          # Table 1: gossip protocols
+//	tables -exp table2          # Table 2: consensus protocols
+//	tables -exp figure1         # Theorem 1 / Figure 1 lower bound
+//	tables -exp coa             # Corollary 2: cost of asynchrony
+//	tables -exp delta           # Theorem 12: messages vs d (and vs δ)
+//	tables -exp fsweep          # Theorem 6: ears time vs n/(n−f)
+//	tables -exp crossover       # ears/trivial message crossover
+//	tables -exp stages          # ears §3.2 stage milestones
+//	tables -exp latency         # per-rumor dissemination latency
+//	tables -exp ablations       # design-choice sweeps
+//	tables -exp all -full       # everything, at the EXPERIMENTS.md scale
+//	tables -exp table1 -csv out # additionally write out/<name>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+// tabler is any experiment result that can render a stats table.
+type tabler interface {
+	Table() *stats.Table
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|ablations|all")
+		full   = fs.Bool("full", false, "full scale (EXPERIMENTS.md configuration; slower)")
+		d      = fs.Int("d", 2, "max message delay for the tables")
+		delta  = fs.Int("delta", 2, "max scheduling gap for the tables")
+		seed   = fs.Int64("seed", 1, "random seed")
+		csvDir = fs.String("csv", "", "directory to additionally write <name>.csv files into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("tables: creating csv dir: %w", err)
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	emit := func(name string, t tabler) error {
+		tab := t.Table()
+		fmt.Fprintln(out, tab.String())
+		if *csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			return fmt.Errorf("tables: writing %s: %w", path, err)
+		}
+		return nil
+	}
+
+	type job struct {
+		name string
+		make func() (tabler, error)
+	}
+	jobs := []job{
+		{"table1", func() (tabler, error) { return experiments.Table1(scale, *d, *delta) }},
+		{"table2", func() (tabler, error) { return experiments.Table2(scale, *d, *delta) }},
+		{"figure1", func() (tabler, error) { return experiments.Figure1(scale, *seed) }},
+		{"coa", func() (tabler, error) { return experiments.CostOfAsynchrony(scale, *seed) }},
+		{"delta", func() (tabler, error) { return experiments.DeltaSweep(scale, *seed) }},
+		{"fsweep", func() (tabler, error) { return experiments.FSweep(scale, *seed) }},
+		{"crossover", func() (tabler, error) { return experiments.Crossover(scale, *seed) }},
+		{"stages", func() (tabler, error) { return experiments.EarsStages(scale, *seed) }},
+		{"latency", func() (tabler, error) { return experiments.RumorLatencyTables(scale, *seed) }},
+	}
+	for _, j := range jobs {
+		if !want(j.name) {
+			continue
+		}
+		res, err := j.make()
+		if err != nil {
+			return err
+		}
+		if err := emit(j.name, res); err != nil {
+			return err
+		}
+		// The δ companion of the d sweep.
+		if j.name == "delta" {
+			sres, err := experiments.SchedSweep(scale, *seed)
+			if err != nil {
+				return err
+			}
+			if err := emit("delta-sched", sres); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("ablations") {
+		abls := []job{
+			{"ablation-shutdown", func() (tabler, error) { return experiments.AblationShutdown(scale, *seed) }},
+			{"ablation-epsilon", func() (tabler, error) { return experiments.AblationEpsilon(scale, *seed) }},
+			{"ablation-coin", func() (tabler, error) { return experiments.AblationCoin(scale, *seed) }},
+		}
+		for _, j := range abls {
+			res, err := j.make()
+			if err != nil {
+				return err
+			}
+			if err := emit(j.name, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

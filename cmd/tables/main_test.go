@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "figure1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem 1") {
+		t.Fatalf("missing table:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "unknown"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("unknown experiment produced output")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "figure1", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "protocol,n,f,case") {
+		t.Fatalf("csv header missing:\n%s", content)
+	}
+	if !strings.Contains(content, "trivial") {
+		t.Fatalf("csv rows missing:\n%s", content)
+	}
+}

@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "On the Complexity of
+// Asynchronous Gossip" (Georgiou, Gilbert, Guerraoui, Kowalski — PODC
+// 2008): randomized gossip and consensus protocols for asynchronous,
+// crash-prone, message-passing systems, together with the discrete-time
+// adversarial simulator the paper's complexity measures are defined over.
+//
+// The package offers three entry points:
+//
+//   - RunGossip simulates one of the paper's gossip protocols — ears
+//     (epidemic, §3), sears (spamming, §4), tears (two-hop majority
+//     gossip, §5) — or a baseline (trivial all-to-all, synchronous
+//     epidemics) under a configurable adversary, and reports the paper's
+//     two complexity measures: time steps and point-to-point messages.
+//
+//   - RunConsensus simulates randomized binary consensus in the
+//     Canetti–Rabin framework (§6) with get-core realized by all-to-all
+//     communication (the Θ(n²) baseline) or by majority gossip (CR-ears,
+//     CR-sears, CR-tears — the latter being the paper's headline: constant
+//     time with strictly subquadratic message complexity).
+//
+//   - RunLowerBound executes the adaptive adversary from Theorem 1 (§2)
+//     against a chosen protocol, witnessing the paper's dichotomy: either
+//     Ω(n+f²) messages or Ω(f·(d+δ)) time.
+//
+// Deeper extension points (custom protocols, adversaries, tracers) are
+// exposed through type aliases into the internal packages; see Protocol,
+// Adversary and Tracer.
+package repro

@@ -1,0 +1,59 @@
+// Live cluster: the same ears nodes that run in the paper's discrete-time
+// model, executed over real goroutines and channels — one goroutine per
+// process, randomized link delays, mid-run crashes, and the Go scheduler
+// as a genuine (if benevolent) asynchronous adversary. Termination is
+// detected with credit counting, and the run is checked against the same
+// gathering/validity evaluator the simulator uses.
+//
+// This example uses the library's internal live runtime through the repro
+// module; downstream users embedding the protocols in their own transport
+// implement sim.Node routing exactly like internal/live does.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "livecluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := live.Config{
+		N:         32,
+		StepEvery: 200 * time.Microsecond,
+		MinDelay:  100 * time.Microsecond,
+		MaxDelay:  2 * time.Millisecond,
+		Crashes: map[sim.ProcID]time.Duration{
+			4:  3 * time.Millisecond,
+			9:  5 * time.Millisecond,
+			17: 8 * time.Millisecond,
+		},
+		Timeout: 30 * time.Second,
+		Seed:    23,
+	}
+
+	fmt.Printf("live gossip: %d goroutine-processes, link delays %v–%v, %d scheduled crashes\n",
+		cfg.N, cfg.MinDelay, cfg.MaxDelay, len(cfg.Crashes))
+
+	for _, proto := range []core.Protocol{core.EARS{}, core.TEARS{}} {
+		rep, err := live.RunGossip(proto, core.Params{}, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", proto.Name(), err)
+		}
+		fmt.Printf("  %-6s completed=%v wall=%8v messages=%6d crashed=%v\n",
+			proto.Name(), rep.Completed, rep.Wall.Round(time.Millisecond), rep.Messages, rep.Crashed)
+	}
+	fmt.Println("\nsame nodes, same correctness checks as the simulator — but under the Go")
+	fmt.Println("scheduler's real concurrency (run with -race to see the COW payload design hold).")
+	return nil
+}

@@ -1,0 +1,47 @@
+// Quickstart: spread n rumors with the paper's epidemic gossip (ears)
+// under an adversarial schedule, and compare against trivial all-to-all
+// flooding — the library's two-line "hello world".
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n    = 128
+		f    = 32 // the adversary may crash up to a quarter of the system
+		seed = 42
+	)
+
+	fmt.Printf("gossip among %d processes, up to %d crashes, unknown delays (d=4, δ=2)\n\n", n, f)
+	for _, proto := range []string{repro.ProtoTrivial, repro.ProtoEARS} {
+		res, err := repro.RunGossip(repro.GossipConfig{
+			Protocol:  proto,
+			N:         n,
+			F:         f,
+			D:         4,
+			Delta:     2,
+			Adversary: repro.AdversaryStandard,
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s completed=%v  time=%4d steps  messages=%6d  crashes=%d\n",
+			proto, res.Completed, res.TimeSteps, res.Messages, res.Crashes)
+	}
+	fmt.Println("\nears beats trivial on messages (n·polylog vs n²) at the cost of polylog time —")
+	fmt.Println("exactly the trade-off in Table 1 of the paper.")
+	return nil
+}

@@ -1,0 +1,137 @@
+package adversary
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// EveryStep schedules every process at every time step (the synchronous
+// schedule; δ = 1 is saturated).
+type EveryStep struct{}
+
+var _ Schedule = EveryStep{}
+
+// Append implements Schedule.
+func (EveryStep) Append(_ sim.Time, v sim.View, buf []sim.ProcID) []sim.ProcID {
+	for p := 0; p < v.N(); p++ {
+		buf = append(buf, sim.ProcID(p))
+	}
+	return buf
+}
+
+// Stride schedules each process exactly once every δ steps, with per-process
+// phases drawn from a pre-committed random stream and re-drawn each period,
+// so processes drift relative to one another while the δ bound holds. This
+// saturates the paper's relative-speed bound: two processes can be up to
+// 2(δ−1) steps apart in their local-step counts at any moment.
+type Stride struct {
+	n      int
+	delta  sim.Time
+	r      *rng.RNG
+	phases []sim.Time // phase of each process within the current period
+	period sim.Time   // index of the period for which phases are valid
+}
+
+var _ Schedule = (*Stride)(nil)
+
+// NewStride returns a Stride schedule for n processes with gap bound delta.
+// The stream r must be pre-committed (oblivious).
+func NewStride(n int, delta sim.Time, r *rng.RNG) *Stride {
+	if delta < 1 {
+		delta = 1
+	}
+	s := &Stride{
+		n:      n,
+		delta:  delta,
+		r:      r,
+		phases: make([]sim.Time, n),
+		period: -1,
+	}
+	return s
+}
+
+// Append implements Schedule.
+func (s *Stride) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	if s.delta == 1 {
+		for p := 0; p < s.n; p++ {
+			buf = append(buf, sim.ProcID(p))
+		}
+		return buf
+	}
+	period := t / s.delta
+	if period != s.period {
+		// Redraw phases for the new period. A process scheduled at phase
+		// δ−1 of one period and phase 0 of the next is still within the δ
+		// bound (gap δ ... gap counted as "at least once in any δ steps").
+		for p := range s.phases {
+			s.phases[p] = sim.Time(s.r.Intn(int(s.delta)))
+		}
+		s.period = period
+	}
+	phase := t % s.delta
+	for p := 0; p < s.n; p++ {
+		if s.phases[p] == phase {
+			buf = append(buf, sim.ProcID(p))
+		}
+	}
+	return buf
+}
+
+// FixedStride schedules process p at times t with t ≡ p (mod δ): a
+// deterministic round-robin partition. Unlike Stride it never redraws
+// phases, so it is useful when a test needs a fully predictable schedule.
+type FixedStride struct {
+	n     int
+	delta sim.Time
+}
+
+var _ Schedule = FixedStride{}
+
+// NewFixedStride returns the deterministic round-robin schedule.
+func NewFixedStride(n int, delta sim.Time) FixedStride {
+	if delta < 1 {
+		delta = 1
+	}
+	return FixedStride{n: n, delta: delta}
+}
+
+// Append implements Schedule.
+func (s FixedStride) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	phase := t % s.delta
+	for p := 0; p < s.n; p++ {
+		if sim.Time(p)%s.delta == phase {
+			buf = append(buf, sim.ProcID(p))
+		}
+	}
+	return buf
+}
+
+// SubsetSchedule schedules only the given subset of processes (every step);
+// all other processes are starved. It deliberately violates the δ bound for
+// the starved processes — it models the Theorem 1 adversary's tactic of
+// running one partition "fast" while another is frozen, and is also used to
+// isolate partitions in unit tests.
+type SubsetSchedule struct {
+	procs []sim.ProcID
+}
+
+var _ Schedule = (*SubsetSchedule)(nil)
+
+// NewSubsetSchedule schedules exactly procs at every step.
+func NewSubsetSchedule(procs []sim.ProcID) *SubsetSchedule {
+	cp := make([]sim.ProcID, len(procs))
+	copy(cp, procs)
+	return &SubsetSchedule{procs: cp}
+}
+
+// SetProcs replaces the scheduled subset (the adaptive adversary moves the
+// "active partition" between execution phases).
+func (s *SubsetSchedule) SetProcs(procs []sim.ProcID) {
+	s.procs = s.procs[:0]
+	s.procs = append(s.procs, procs...)
+}
+
+// Append implements Schedule.
+func (s *SubsetSchedule) Append(_ sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	return append(buf, s.procs...)
+}

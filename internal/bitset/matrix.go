@@ -1,0 +1,167 @@
+package bitset
+
+import "math/bits"
+
+// Matrix is an n×n bit matrix with copy-on-write snapshots, used as the
+// gossip informed-list I(p): row q holds the set of rumors known to have
+// been sent to process q. Rows are stored contiguously so row operations
+// (union with a rumor set, subset tests) are word-parallel.
+type Matrix struct {
+	n      int
+	stride int // words per row
+	words  []uint64
+	shared bool
+}
+
+// NewMatrix returns an all-zero n×n bit matrix.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		n = 0
+	}
+	stride := wordsFor(n)
+	return &Matrix{n: n, stride: stride, words: make([]uint64, n*stride)}
+}
+
+// Universe returns the dimension n.
+func (m *Matrix) Universe() int { return m.n }
+
+func (m *Matrix) ensureOwned() {
+	if m.shared {
+		w := make([]uint64, len(m.words))
+		copy(w, m.words)
+		m.words = w
+		m.shared = false
+	}
+}
+
+// Snapshot returns a logically immutable alias of m; the first mutation of
+// either side copies the words (copy-on-write).
+func (m *Matrix) Snapshot() *Matrix {
+	m.shared = true
+	return &Matrix{n: m.n, stride: m.stride, words: m.words, shared: true}
+}
+
+// Clone returns an independent deep copy.
+func (m *Matrix) Clone() *Matrix {
+	w := make([]uint64, len(m.words))
+	copy(w, m.words)
+	return &Matrix{n: m.n, stride: m.stride, words: w}
+}
+
+// Test reports whether bit (row, col) is set.
+func (m *Matrix) Test(row, col int) bool {
+	if row < 0 || row >= m.n || col < 0 || col >= m.n {
+		return false
+	}
+	w := m.words[row*m.stride+col/wordBits]
+	return w&(1<<(uint(col)%wordBits)) != 0
+}
+
+// Set sets bit (row, col).
+func (m *Matrix) Set(row, col int) {
+	if row < 0 || row >= m.n || col < 0 || col >= m.n {
+		return
+	}
+	m.ensureOwned()
+	m.words[row*m.stride+col/wordBits] |= 1 << (uint(col) % wordBits)
+}
+
+// UnionWith ORs every bit of other into m. Dimensions must match; a nil or
+// mismatched other is ignored.
+func (m *Matrix) UnionWith(other *Matrix) {
+	if other == nil || other.n != m.n {
+		return
+	}
+	m.ensureOwned()
+	for i := range m.words {
+		m.words[i] |= other.words[i]
+	}
+}
+
+// RowUnionSet ORs the bits of set into the given row. Used by gossip: after
+// sending all rumors V to process q, record (r, q) for every r ∈ V, i.e.
+// row q ∪= V.
+func (m *Matrix) RowUnionSet(row int, set *Set) {
+	if row < 0 || row >= m.n || set == nil {
+		return
+	}
+	m.ensureOwned()
+	base := row * m.stride
+	k := m.stride
+	if len(set.words) < k {
+		k = len(set.words)
+	}
+	for i := 0; i < k; i++ {
+		m.words[base+i] |= set.words[i]
+	}
+}
+
+// RowContainsSet reports whether row `row` is a superset of set, i.e.
+// whether every rumor in set is known to have been sent to process row.
+func (m *Matrix) RowContainsSet(row int, set *Set) bool {
+	if set == nil {
+		return true
+	}
+	if row < 0 || row >= m.n {
+		return set.Empty()
+	}
+	base := row * m.stride
+	for i, w := range set.words {
+		if i >= m.stride {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^m.words[base+i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RowsContainingSet returns the number of rows that are supersets of set.
+// For gossip, n - RowsContainingSet(V) = |L(p)|, the number of processes
+// that have not provably been sent every rumor in V.
+func (m *Matrix) RowsContainingSet(set *Set) int {
+	c := 0
+	for row := 0; row < m.n; row++ {
+		if m.RowContainsSet(row, set) {
+			c++
+		}
+	}
+	return c
+}
+
+// AllRowsContainSet reports whether every row is a superset of set
+// (i.e. L(p) = ∅ in gossip terms).
+func (m *Matrix) AllRowsContainSet(set *Set) bool {
+	for row := 0; row < m.n; row++ {
+		if !m.RowContainsSet(row, set) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowCount returns the number of set bits in a row.
+func (m *Matrix) RowCount(row int) int {
+	if row < 0 || row >= m.n {
+		return 0
+	}
+	base := row * m.stride
+	c := 0
+	for i := 0; i < m.stride; i++ {
+		c += bits.OnesCount64(m.words[base+i])
+	}
+	return c
+}
+
+// Count returns the total number of set bits.
+func (m *Matrix) Count() int {
+	c := 0
+	for _, w := range m.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

@@ -1,0 +1,335 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// mkOutput builds a get-core output with the given numbers of 0-, 1- and
+// ⊥-votes.
+func mkOutput(n, zeros, ones, bots int) *core.Rumors {
+	out := core.NewRumors(n, true)
+	id := 0
+	add := func(count int, v uint8) {
+		for k := 0; k < count; k++ {
+			out.Add(sim.ProcID(id), v)
+			id++
+		}
+	}
+	add(zeros, VoteZero)
+	add(ones, VoteOne)
+	add(bots, VoteBot)
+	return out
+}
+
+func TestMajorityPref(t *testing.T) {
+	n := 10
+	cases := []struct {
+		zeros, ones, bots int
+		want              uint8
+	}{
+		{6, 0, 0, VoteZero}, // clear majority of 0s
+		{0, 6, 0, VoteOne},  // clear majority of 1s
+		{5, 5, 0, VoteBot},  // exactly half is not a majority
+		{3, 3, 0, VoteBot},  // no majority
+		{6, 4, 0, VoteZero}, // majority with opposition
+		{0, 0, 10, VoteBot}, // all bot
+		{5, 0, 5, VoteBot},  // five 0s of ten: not > n/2
+		{6, 0, 4, VoteZero}, // six 0s: > n/2
+	}
+	for i, c := range cases {
+		out := mkOutput(n, c.zeros, c.ones, c.bots)
+		if got := majorityPref(out, n); got != c.want {
+			t.Errorf("case %d (%d/%d/%d): majorityPref = %d, want %d",
+				i, c.zeros, c.ones, c.bots, got, c.want)
+		}
+	}
+}
+
+func TestDecideRule(t *testing.T) {
+	n := 10
+	cases := []struct {
+		zeros, ones, bots int
+		wantDecide        bool
+		wantV             uint8
+		wantCoin          bool
+	}{
+		{6, 0, 0, true, VoteZero, false},  // unanimous 0 → decide 0
+		{0, 7, 0, true, VoteOne, false},   // unanimous 1 → decide 1
+		{6, 0, 1, false, VoteZero, false}, // 0s plus a ⊥ → adopt 0, no decide
+		{0, 6, 2, false, VoteOne, false},  // 1s plus ⊥s → adopt 1
+		{0, 0, 6, false, 0, true},         // all ⊥ → coin
+	}
+	for i, c := range cases {
+		out := mkOutput(n, c.zeros, c.ones, c.bots)
+		d, v, coin := decideRule(out)
+		if d != c.wantDecide || coin != c.wantCoin || (!coin && v != c.wantV) {
+			t.Errorf("case %d (%d/%d/%d): decideRule = (%v,%d,%v), want (%v,%d,%v)",
+				i, c.zeros, c.ones, c.bots, d, v, coin, c.wantDecide, c.wantV, c.wantCoin)
+		}
+	}
+	// Defensive branch: conflicting non-⊥ votes (impossible under the
+	// majority-preference invariant) must never decide.
+	conflicted := mkOutput(n, 3, 3, 0)
+	if d, _, _ := decideRule(conflicted); d {
+		t.Fatal("decided on a conflicted output")
+	}
+}
+
+// Property: decideRule never decides when a ⊥ is present, and deciding
+// implies every vote equals the decided value.
+func TestQuickDecideRuleSafety(t *testing.T) {
+	check := func(zeros, ones, bots uint8) bool {
+		n := int(zeros) + int(ones) + int(bots)
+		if n == 0 || n > 200 {
+			return true
+		}
+		out := mkOutput(n, int(zeros), int(ones), int(bots))
+		d, v, coin := decideRule(out)
+		if d && bots > 0 {
+			return false
+		}
+		if d && zeros > 0 && ones > 0 {
+			return false
+		}
+		if d && v == VoteZero && zeros == 0 {
+			return false
+		}
+		if d && v == VoteOne && ones == 0 {
+			return false
+		}
+		if coin && (zeros > 0 || ones > 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonCoinAgreesAndIsFair(t *testing.T) {
+	coin := NewCommonCoin(99)
+	ones := 0
+	const rounds = 2000
+	for r := 1; r <= rounds; r++ {
+		v := coin.Flip(r, 0)
+		for id := 1; id < 5; id++ {
+			if coin.Flip(r, id) != v {
+				t.Fatalf("round %d: common coin differs across processes", r)
+			}
+		}
+		ones += int(v)
+	}
+	if ones < rounds*2/5 || ones > rounds*3/5 {
+		t.Fatalf("common coin biased: %d/%d ones", ones, rounds)
+	}
+	if coin.Name() != "common" {
+		t.Fatal("name")
+	}
+}
+
+func TestLocalCoinIndependentButDeterministic(t *testing.T) {
+	coin := NewLocalCoin(7)
+	again := NewLocalCoin(7)
+	same := 0
+	const rounds = 2000
+	for r := 1; r <= rounds; r++ {
+		if coin.Flip(r, 1) != again.Flip(r, 1) {
+			t.Fatal("local coin not deterministic for same seed")
+		}
+		if coin.Flip(r, 1) == coin.Flip(r, 2) {
+			same++
+		}
+	}
+	// Two process streams agree about half the time.
+	if same < rounds*2/5 || same > rounds*3/5 {
+		t.Fatalf("local coins suspiciously correlated: %d/%d", same, rounds)
+	}
+	if coin.Name() != "local" {
+		t.Fatal("name")
+	}
+}
+
+// TestStragglerCatchesUpViaProbes freezes one process until all others
+// have decided and gone quiet, then releases it: the probe/history channel
+// must still deliver it a decision (this is the paper's history catch-up
+// in its most extreme form).
+func TestStragglerCatchesUpViaProbes(t *testing.T) {
+	const (
+		n        = 16
+		switchAt = 2000
+	)
+	p := Params{N: n, F: 0, Transport: TransportDirect}
+	inputs := UniformInputs(n, 1)
+	nodes, err := NewNodes(p, inputs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &freezeSchedule{victim: 0, until: switchAt, n: n}
+	adv := adversary.Compose(sched, nil, nil)
+	cfg := sim.Config{N: n, F: 0, D: 1, Delta: 1, Seed: 5, MaxSteps: 4 * switchAt}
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(Evaluator{Inputs: inputs})
+	if err != nil {
+		t.Fatalf("straggler run failed: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	decided, v, at := nodes[0].(*Node).Decided()
+	if !decided || v != 1 {
+		t.Fatalf("straggler decided=%v v=%d", decided, v)
+	}
+	if at < switchAt {
+		t.Fatalf("straggler decided at %d before it was ever scheduled (%d)", at, switchAt)
+	}
+}
+
+// freezeSchedule starves one process until a switch time.
+type freezeSchedule struct {
+	victim sim.ProcID
+	until  sim.Time
+	n      int
+}
+
+func (s *freezeSchedule) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	for i := 0; i < s.n; i++ {
+		if sim.ProcID(i) == s.victim && t < s.until {
+			continue
+		}
+		buf = append(buf, sim.ProcID(i))
+	}
+	return buf
+}
+
+// TestHistoryAdoption unit-tests the catch-up path: a node that receives a
+// decided history adopts the decision instantly.
+func TestHistoryAdoption(t *testing.T) {
+	p := Params{N: 8, F: 3, Transport: TransportDirect}.WithDefaults()
+	nd, err := NewNode(2, 0, p, testRNG(), NewCommonCoin(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sim.Outbox
+	out.Reset(2, 1, 8)
+	msg := sim.Message{From: 5, To: 2, Payload: &Payload{
+		Idx:  -1,
+		Hist: &History{Decided: true, Value: 1},
+	}}
+	nd.Step(1, []sim.Message{msg}, &out)
+	decided, v, at := nd.Decided()
+	if !decided || v != 1 || at != 1 {
+		t.Fatalf("adoption failed: %v %d %d", decided, v, at)
+	}
+	if !nd.Quiescent() {
+		t.Fatal("decided node not quiescent")
+	}
+}
+
+// TestDecidedNodeRepliesToProbes: a decided node must answer probes with
+// its decided history so stragglers terminate.
+func TestDecidedNodeRepliesToProbes(t *testing.T) {
+	p := Params{N: 8, F: 3, Transport: TransportDirect}.WithDefaults()
+	nd, err := NewNode(1, 1, p, testRNG(), NewCommonCoin(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sim.Outbox
+	out.Reset(1, 1, 8)
+	nd.Step(1, []sim.Message{{From: 0, To: 1, Payload: &Payload{
+		Idx: -1, Hist: &History{Decided: true, Value: 0},
+	}}}, &out)
+	if d, _, _ := nd.Decided(); !d {
+		t.Fatal("setup: node should have adopted the decision")
+	}
+	out.Reset(1, 2, 8)
+	probe := sim.Message{From: 6, To: 1, Payload: &Payload{Idx: -1, Probe: true}}
+	nd.Step(2, []sim.Message{probe}, &out)
+	msgs := out.Messages()
+	if len(msgs) != 1 || msgs[0].To != 6 {
+		t.Fatalf("expected one reply to the prober, got %d messages", len(msgs))
+	}
+	reply, ok := msgs[0].Payload.(*Payload)
+	if !ok || reply.Hist == nil || !reply.Hist.Decided {
+		t.Fatal("reply does not carry the decision")
+	}
+}
+
+func testRNG() *rng.RNG { return rng.New(1234) }
+
+func TestTinyClusters(t *testing.T) {
+	// n=2 (f=0) and n=3 (f=1): threshold arithmetic at the smallest scales.
+	for _, tc := range []struct{ n, f int }{{2, 0}, {3, 1}, {4, 1}} {
+		for _, kind := range []TransportKind{TransportDirect, TransportEARS} {
+			cfg := sim.Config{N: tc.n, F: tc.f, D: 1, Delta: 1, Seed: 3}
+			inputs := RandomInputs(tc.n, 5)
+			res, err := tryRunConsensus(Params{Transport: kind}, inputs, cfg, adversary.PresetBenign)
+			if err != nil {
+				t.Fatalf("n=%d f=%d %s: %v", tc.n, tc.f, kind, err)
+			}
+			if !res.Completed {
+				t.Fatalf("n=%d f=%d %s: %+v", tc.n, tc.f, kind, res)
+			}
+		}
+	}
+}
+
+func TestSplitVoteEventuallyDecides(t *testing.T) {
+	// A perfect 0/1 split forces coin rounds; with the common coin the
+	// protocol must still decide quickly across seeds.
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := sim.Config{N: 20, F: 9, D: 2, Delta: 1, Seed: seed}
+		inputs := make([]uint8, 20)
+		for i := range inputs {
+			inputs[i] = uint8(i % 2)
+		}
+		res, err := tryRunConsensus(Params{Transport: TransportDirect}, inputs, cfg, adversary.PresetStandard)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestRoundsBoundedWithCommonCoin(t *testing.T) {
+	// With the common coin, the expected number of rounds is O(1); assert
+	// a loose cap across seeds (guards against a silent livelock that
+	// still terminates within MaxSteps).
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := sim.Config{N: 24, F: 11, D: 1, Delta: 1, Seed: seed}
+		inputs := make([]uint8, 24)
+		for i := range inputs {
+			inputs[i] = uint8(i % 2)
+		}
+		p := Params{Transport: TransportDirect}
+		p.N, p.F = cfg.N, cfg.F
+		nodes, err := NewNodes(p, inputs, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv, _ := adversary.ByName(adversary.PresetStandard, cfg)
+		w, err := sim.NewWorld(cfg, nodes, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Run(Evaluator{Inputs: inputs}); err != nil {
+			t.Fatal(err)
+		}
+		for _, nd := range nodes {
+			if r := nd.(*Node).Rounds(); r > 8 {
+				t.Fatalf("seed %d: node used %d rounds with a common coin", seed, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package core implements the paper's primary contribution: the randomized
+// asynchronous gossip protocols ears (Epidemic Asynchronous Rumor
+// Spreading, §3 / Figure 2), sears (Spamming EARS, §4), tears (Two-hop
+// EARS, §5 / Figure 3), and the trivial all-to-all baseline, all running on
+// the partially synchronous crash-prone model of package sim.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+)
+
+// NoValue marks a rumor that carries no attached value.
+const NoValue = ^uint8(0)
+
+// Rumors is the set of rumors known to a process. Rumor identifiers
+// coincide with process identifiers: rumor r is the initial rumor of
+// process r. A rumor may carry a small attached value (the consensus layer
+// attaches votes); plain gossip leaves Vals nil.
+//
+// Rumors values sent in messages are copy-on-write snapshots: the Set is
+// snapshotted and the Vals array is shared. Sharing Vals is sound because
+// a value is written exactly once, when the rumor is first learned, and a
+// receiver only reads values for rumors present in the (frozen) Set — all
+// of which were written before the snapshot was taken.
+type Rumors struct {
+	Set  *bitset.Set
+	Vals []uint8
+}
+
+// NewRumors returns an empty rumor collection over n processes. If
+// withVals is set, rumors carry values.
+func NewRumors(n int, withVals bool) *Rumors {
+	r := &Rumors{Set: bitset.New(n)}
+	if withVals {
+		r.Vals = make([]uint8, n)
+	}
+	return r
+}
+
+// Add records rumor r with an optional value (pass NoValue for none).
+func (ru *Rumors) Add(r sim.ProcID, val uint8) {
+	ru.Set.Add(int(r))
+	if ru.Vals != nil && val != NoValue {
+		ru.Vals[r] = val
+	}
+}
+
+// Has reports whether rumor r is known.
+func (ru *Rumors) Has(r sim.ProcID) bool { return ru.Set.Test(int(r)) }
+
+// Count returns the number of known rumors.
+func (ru *Rumors) Count() int { return ru.Set.Count() }
+
+// Value returns the value attached to rumor r, or NoValue.
+func (ru *Rumors) Value(r sim.ProcID) uint8 {
+	if ru.Vals == nil || !ru.Set.Test(int(r)) {
+		return NoValue
+	}
+	return ru.Vals[r]
+}
+
+// Snapshot returns a cheap logically immutable copy for sending.
+func (ru *Rumors) Snapshot() *Rumors {
+	return &Rumors{Set: ru.Set.Snapshot(), Vals: ru.Vals}
+}
+
+// Union merges other into ru, copying attached values for newly gained
+// rumors. Values are write-once per rumor, so unioning collections from
+// the same instance never conflicts.
+func (ru *Rumors) Union(other *Rumors) {
+	if other == nil {
+		return
+	}
+	if ru.Vals != nil && other.Vals != nil {
+		other.Set.ForEachDiff(ru.Set, func(i int) bool {
+			ru.Vals[i] = other.Vals[i]
+			return true
+		})
+	}
+	ru.Set.UnionWith(other.Set)
+}
+
+// Clone returns an independent deep copy.
+func (ru *Rumors) Clone() *Rumors {
+	cp := &Rumors{Set: ru.Set.Clone()}
+	if ru.Vals != nil {
+		cp.Vals = append([]uint8(nil), ru.Vals...)
+	}
+	return cp
+}
+
+// SizeBytes approximates the wire size of the collection: a dense bitmap
+// plus one byte per carried value.
+func (ru *Rumors) SizeBytes() int {
+	b := (ru.Set.Universe() + 7) / 8
+	if ru.Vals != nil {
+		b += ru.Set.Count()
+	}
+	return b
+}
+
+// String summarizes the collection.
+func (ru *Rumors) String() string {
+	return fmt.Sprintf("rumors(%d/%d)", ru.Count(), ru.Set.Universe())
+}
+
+// Tracker is the rumor bookkeeping shared by all gossip nodes: the rumor
+// collection plus acquisition-time records used by evaluators to compute
+// the paper's completion time after the run. Synchronous baselines and the
+// consensus layer embed it too.
+type Tracker struct {
+	n          int
+	rum        *Rumors
+	acquiredAt []sim.Time // per rumor; -1 if never acquired
+	countAt    []sim.Time // countAt[k]: time the count first reached k (k>=1)
+	count      int
+}
+
+// NewTracker returns a Tracker for process id over n processes, seeded
+// with the process's own rumor (value val, or NoValue).
+func NewTracker(n int, id sim.ProcID, val uint8, withVals bool) Tracker {
+	st := Tracker{
+		n:          n,
+		rum:        NewRumors(n, withVals),
+		acquiredAt: make([]sim.Time, n),
+		countAt:    make([]sim.Time, n+1),
+	}
+	for i := range st.acquiredAt {
+		st.acquiredAt[i] = -1
+	}
+	for i := range st.countAt {
+		st.countAt[i] = -1
+	}
+	st.Learn(id, val, 0)
+	return st
+}
+
+// Learn records rumor r with value val at time now (idempotent).
+func (st *Tracker) Learn(r sim.ProcID, val uint8, now sim.Time) {
+	if st.rum.Has(r) {
+		return
+	}
+	st.rum.Add(r, val)
+	st.acquiredAt[r] = now
+	st.count++
+	st.countAt[st.count] = now
+}
+
+// Absorb merges an incoming rumor collection, recording acquisition times.
+func (st *Tracker) Absorb(in *Rumors, now sim.Time) {
+	if in == nil {
+		return
+	}
+	in.Set.ForEachDiff(st.rum.Set, func(i int) bool {
+		st.acquiredAt[i] = now
+		st.count++
+		st.countAt[st.count] = now
+		if st.rum.Vals != nil && in.Vals != nil {
+			st.rum.Vals[i] = in.Vals[i]
+		}
+		return true
+	})
+	st.rum.Set.UnionWith(in.Set)
+}
+
+// RumorSet implements RumorHolder.
+func (st *Tracker) RumorSet() *bitset.Set { return st.rum.Set }
+
+// Rumors exposes the full collection (consensus layer reads values).
+func (st *Tracker) Rumors() *Rumors { return st.rum }
+
+// RumorAcquiredAt implements RumorHolder.
+func (st *Tracker) RumorAcquiredAt(r sim.ProcID) sim.Time {
+	if int(r) < 0 || int(r) >= st.n {
+		return -1
+	}
+	return st.acquiredAt[r]
+}
+
+// RumorCountReachedAt implements RumorHolder.
+func (st *Tracker) RumorCountReachedAt(k int) sim.Time {
+	if k <= 0 {
+		return 0
+	}
+	if k > st.n {
+		return -1
+	}
+	return st.countAt[k]
+}
+
+// CloneTracker deep-copies the bookkeeping for node cloning.
+func (st *Tracker) CloneTracker() Tracker {
+	cp := Tracker{
+		n:          st.n,
+		rum:        &Rumors{Set: st.rum.Set.Clone()},
+		acquiredAt: append([]sim.Time(nil), st.acquiredAt...),
+		countAt:    append([]sim.Time(nil), st.countAt...),
+		count:      st.count,
+	}
+	if st.rum.Vals != nil {
+		cp.rum.Vals = append([]uint8(nil), st.rum.Vals...)
+	}
+	return cp
+}
+
+// RumorHolder is implemented by every gossip node and consumed by the
+// evaluators in this package.
+type RumorHolder interface {
+	// RumorSet returns the set of rumor identifiers known to the node.
+	RumorSet() *bitset.Set
+	// RumorAcquiredAt returns when rumor r was first learned, or -1.
+	RumorAcquiredAt(r sim.ProcID) sim.Time
+	// RumorCountReachedAt returns when the node first knew k rumors, or -1.
+	RumorCountReachedAt(k int) sim.Time
+}

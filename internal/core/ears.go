@@ -1,0 +1,231 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// EARS is the paper's Epidemic Asynchronous Rumor Spreading protocol
+// (§3, Figure 2). Each local step a process sends its rumor set V(p) and
+// informed-list I(p) to one uniformly random target. The informed-list
+// records pairs (r, q) — "rumor r has been sent to process q by someone" —
+// and the process enters a Θ(n/(n−f)·log n)-step shut-down phase once
+// L(p) = {q : ∃r ∈ V(p), (r,q) ∉ I(p)} is empty, after which it sleeps.
+// Learning a new rumor (or a new rumor/target obligation) wakes it up.
+//
+// Against an oblivious adversary: time O(n/(n−f)·log²n·(d+δ)), messages
+// O(n·log³n·(d+δ)) w.h.p. (Theorem 6).
+type EARS struct{}
+
+var _ Protocol = EARS{}
+
+// Name implements Protocol.
+func (EARS) Name() string { return NameEARS }
+
+// NewNode implements Protocol.
+func (EARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
+	p = p.WithDefaults()
+	return &earsNode{
+		Tracker:       NewTracker(p.N, id, NoValue, p.WithVals),
+		id:            id,
+		n:             p.N,
+		inf:           newInformedList(p.N),
+		shutdownSteps: p.shutdownThreshold(),
+		fanout:        1,
+		r:             r,
+	}
+}
+
+// Evaluator implements Protocol: ears promises full gossip.
+func (EARS) Evaluator(p Params) sim.Evaluator {
+	return FullGossipEvaluator{Params: p.WithDefaults()}
+}
+
+// earsNode is the per-process state of ears; sears reuses it with a larger
+// fan-out and a one-step shut-down phase.
+type earsNode struct {
+	Tracker
+	id sim.ProcID
+	n  int
+
+	inf *informedList
+
+	// sleepCnt counts consecutive local steps with L(p) = ∅; the process
+	// transmits during the first shutdownSteps of them (the shut-down
+	// phase), then sleeps. It resets to zero whenever L(p) ≠ ∅ (Figure 2
+	// lines 12–15).
+	sleepCnt      int
+	shutdownSteps int
+
+	// fanout is the number of random targets per local step: 1 for ears,
+	// Θ(n^ε log n) for sears (§4).
+	fanout int
+
+	r *rng.RNG
+}
+
+var (
+	_ sim.Node    = (*earsNode)(nil)
+	_ RumorHolder = (*earsNode)(nil)
+	_ sim.Cloner  = (*earsNode)(nil)
+)
+
+// ID implements sim.Node.
+func (e *earsNode) ID() sim.ProcID { return e.id }
+
+// Step implements sim.Node, mirroring one iteration of Figure 2's loop.
+func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
+	vGrew, iGrew := false, false
+	for _, m := range inbox {
+		pl, ok := m.Payload.(*GossipPayload)
+		if !ok {
+			continue
+		}
+		before := e.count
+		e.Absorb(pl.Rumors, now)
+		if e.count != before {
+			vGrew = true
+		}
+		if pl.Informed.m != nil {
+			e.inf.union(pl.Informed.m)
+			iGrew = true
+		}
+	}
+	// "Update L(p) based on V(p) and I(p)." (line 11)
+	e.inf.refresh(e.rum.Set, vGrew, iGrew)
+
+	if e.inf.covered() {
+		e.sleepCnt++ // line 13
+	} else {
+		e.sleepCnt = 0 // line 14
+	}
+	if e.sleepCnt > e.shutdownSteps {
+		return // asleep (line 15): receive-only until L(p) reopens
+	}
+
+	// Epidemic transmission mode (lines 16–21): snapshot first — the
+	// pseudocode sends ⟨V(p), I(p)⟩ before recording the new pairs.
+	payload := &GossipPayload{
+		Rumors:   e.rum.Snapshot(),
+		Informed: informedSnapshot{m: e.inf.m.Snapshot()},
+	}
+	if e.fanout <= 1 {
+		q := sim.ProcID(e.r.Intn(e.n)) // uniform on [n], self included
+		out.Send(q, payload)
+		e.inf.markSent(int(q), e.rum.Set)
+		return
+	}
+	for _, q := range e.r.Sample(e.n, e.fanout) {
+		out.Send(sim.ProcID(q), payload)
+		e.inf.markSent(q, e.rum.Set)
+	}
+}
+
+// Quiescent implements sim.Node: asleep after the shut-down phase. Any new
+// rumor or obligation arrives in a message, which keeps the world awake, so
+// this predicate is stable while no messages are in flight.
+func (e *earsNode) Quiescent() bool {
+	return e.inf.covered() && e.sleepCnt > e.shutdownSteps
+}
+
+// CloneNode implements sim.Cloner.
+func (e *earsNode) CloneNode() sim.Node {
+	return &earsNode{
+		Tracker:       e.CloneTracker(),
+		id:            e.id,
+		n:             e.n,
+		inf:           e.inf.clone(),
+		sleepCnt:      e.sleepCnt,
+		shutdownSteps: e.shutdownSteps,
+		fanout:        e.fanout,
+		r:             e.r.Clone(),
+	}
+}
+
+// Asleep reports whether the node is past its shut-down phase (test hook).
+func (e *earsNode) Asleep() bool { return e.Quiescent() }
+
+// InformedPairs returns |I(p)| (test hook).
+func (e *earsNode) InformedPairs() int { return e.inf.m.Count() }
+
+// InformedHas reports whether (rumor, target) ∈ I(p) (test hook for the
+// informed-list soundness property).
+func (e *earsNode) InformedHas(rumor, target sim.ProcID) bool {
+	return e.inf.m.Test(int(target), int(rumor))
+}
+
+// informedList maintains I(p) together with an incrementally updated
+// uncovered-row set L(p). Rows only gain bits and V only grows, so:
+// absorbing more informed pairs can only shrink L(p) (recheck uncovered
+// rows only), while learning a new rumor can only grow L(p) (full
+// recompute).
+type informedList struct {
+	n         int
+	m         *bitset.Matrix
+	uncovered *bitset.Set // L(p): rows q with V ⊄ I-row(q)
+}
+
+func newInformedList(n int) *informedList {
+	return &informedList{n: n, m: bitset.NewMatrix(n), uncovered: bitset.NewFull(n)}
+}
+
+func (il *informedList) union(other *bitset.Matrix) { il.m.UnionWith(other) }
+
+// refresh recomputes L(p) after message absorption.
+func (il *informedList) refresh(v *bitset.Set, vGrew, iGrew bool) {
+	switch {
+	case vGrew:
+		il.uncovered.Clear()
+		for q := 0; q < il.n; q++ {
+			if !il.m.RowContainsSet(q, v) {
+				il.uncovered.Add(q)
+			}
+		}
+	case iGrew:
+		var nowCovered []int
+		il.uncovered.ForEach(func(q int) bool {
+			if il.m.RowContainsSet(q, v) {
+				nowCovered = append(nowCovered, q)
+			}
+			return true
+		})
+		for _, q := range nowCovered {
+			il.uncovered.Remove(q)
+		}
+	}
+}
+
+// markSent records (r, q) for every r ∈ v after a send to q (Figure 2
+// lines 19–20), which by construction covers row q.
+func (il *informedList) markSent(q int, v *bitset.Set) {
+	il.m.RowUnionSet(q, v)
+	il.uncovered.Remove(q)
+}
+
+// covered reports L(p) = ∅.
+func (il *informedList) covered() bool { return il.uncovered.Empty() }
+
+func (il *informedList) clone() *informedList {
+	return &informedList{n: il.n, m: il.m.Clone(), uncovered: il.uncovered.Clone()}
+}
+
+// informedSnapshot wraps an optional informed-list snapshot in a payload.
+type informedSnapshot struct {
+	m *bitset.Matrix
+}
+
+// sizeBytes approximates a sparse wire encoding of the informed list,
+// capped by the dense bitmap size.
+func (s informedSnapshot) sizeBytes() int {
+	if s.m == nil {
+		return 0
+	}
+	n := s.m.Universe()
+	dense := (n*n + 7) / 8
+	sparse := 8 * s.m.Count()
+	if sparse < dense {
+		return sparse
+	}
+	return dense
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FullGossipEvaluator judges the classic gossip problem (paper §1):
+//
+//	(1) Rumor gathering — every correct process has every rumor that
+//	    initiated at a correct process;
+//	(2) Validity — every rumor held anywhere was actually initiated
+//	    (its originator took at least one local step, or it is the
+//	    holder's own rumor);
+//	(3) Quiescence — implied by the world having gone quiet before
+//	    evaluation.
+//
+// CompletedAt is the time the last correct process acquired its last
+// required rumor; the paper's completion time additionally waits for the
+// last send, which the simulator folds in as Result.TimeComplexity.
+type FullGossipEvaluator struct {
+	Params Params
+}
+
+var _ sim.Evaluator = FullGossipEvaluator{}
+
+// Evaluate implements sim.Evaluator.
+func (e FullGossipEvaluator) Evaluate(v sim.View) sim.Outcome {
+	if out := checkValidity(v); !out.OK {
+		return out
+	}
+	var completedAt sim.Time
+	n := v.N()
+	for p := 0; p < n; p++ {
+		if !v.Alive(sim.ProcID(p)) {
+			continue
+		}
+		h, ok := v.Node(sim.ProcID(p)).(RumorHolder)
+		if !ok {
+			return sim.Outcome{Detail: fmt.Sprintf("node %d is not a RumorHolder", p)}
+		}
+		for r := 0; r < n; r++ {
+			if !v.Alive(sim.ProcID(r)) {
+				continue // rumor of a crashed process is not required
+			}
+			if !h.RumorSet().Test(r) {
+				return sim.Outcome{Detail: fmt.Sprintf(
+					"gathering violated: correct process %d lacks rumor of correct process %d", p, r)}
+			}
+			if at := h.RumorAcquiredAt(sim.ProcID(r)); at > completedAt {
+				completedAt = at
+			}
+		}
+	}
+	return sim.Outcome{OK: true, CompletedAt: completedAt}
+}
+
+// MajorityGossipEvaluator judges majority gossip (paper §5): every correct
+// process receives at least ⌊n/2⌋+1 of the n rumors. Validity must hold as
+// in full gossip.
+type MajorityGossipEvaluator struct {
+	Params Params
+}
+
+var _ sim.Evaluator = MajorityGossipEvaluator{}
+
+// Evaluate implements sim.Evaluator.
+func (e MajorityGossipEvaluator) Evaluate(v sim.View) sim.Outcome {
+	if out := checkValidity(v); !out.OK {
+		return out
+	}
+	maj := v.N()/2 + 1
+	var completedAt sim.Time
+	for p := 0; p < v.N(); p++ {
+		if !v.Alive(sim.ProcID(p)) {
+			continue
+		}
+		h, ok := v.Node(sim.ProcID(p)).(RumorHolder)
+		if !ok {
+			return sim.Outcome{Detail: fmt.Sprintf("node %d is not a RumorHolder", p)}
+		}
+		if got := h.RumorSet().Count(); got < maj {
+			return sim.Outcome{Detail: fmt.Sprintf(
+				"majority violated: correct process %d holds %d rumors, needs %d", p, got, maj)}
+		}
+		if at := h.RumorCountReachedAt(maj); at > completedAt {
+			completedAt = at
+		}
+	}
+	return sim.Outcome{OK: true, CompletedAt: completedAt}
+}
+
+// checkValidity verifies the paper's validity condition for every process,
+// correct or crashed: a held rumor must be some process's initial rumor,
+// which in this model means its originator exists and took at least one
+// local step (or the rumor is the holder's own).
+func checkValidity(v sim.View) sim.Outcome {
+	n := v.N()
+	for p := 0; p < n; p++ {
+		h, ok := v.Node(sim.ProcID(p)).(RumorHolder)
+		if !ok {
+			continue
+		}
+		bad := -1
+		h.RumorSet().ForEach(func(r int) bool {
+			if r != p && v.StepsTaken(sim.ProcID(r)) == 0 {
+				bad = r
+				return false
+			}
+			return true
+		})
+		if bad >= 0 {
+			return sim.Outcome{Detail: fmt.Sprintf(
+				"validity violated: process %d holds rumor %d, but %d never took a step", p, bad, bad)}
+		}
+	}
+	return sim.Outcome{OK: true}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Naive is the strawman the paper's introduction warns about: epidemic
+// transmission repeated for a fixed number of local steps, with no
+// progress control. "Unlike in the case of a synchronous system, it is
+// not sufficient to simply repeat the gossip step a pre-determined number
+// of times" (§1): because of asynchrony, a process may begin its r-th
+// iteration long after everyone else has finished theirs, and data is not
+// propagated. Naive exists as the ablation showing exactly that failure —
+// under a starved schedule it goes quiescent with rumors missing, which
+// the ears informed-list machinery (§3) is designed to prevent.
+type Naive struct{}
+
+var _ Protocol = Naive{}
+
+// NameNaive is the Naive protocol's name.
+const NameNaive = "naive"
+
+// Name implements Protocol.
+func (Naive) Name() string { return NameNaive }
+
+// NewNode implements Protocol.
+func (Naive) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
+	p = p.WithDefaults()
+	surv := p.N - p.F
+	if surv < 1 {
+		surv = 1
+	}
+	// The same budget the ears shut-down phase uses — a "fair" repetition
+	// count for the comparison: c·(n/(n−f))·log₂n local steps.
+	reps := int(math.Ceil(p.ShutdownC * float64(p.N) / float64(surv) * float64(log2(p.N))))
+	if reps < 1 {
+		reps = 1
+	}
+	return &naiveNode{
+		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
+		id:      id,
+		n:       p.N,
+		reps:    reps,
+		r:       r,
+	}
+}
+
+// Evaluator implements Protocol: naive *claims* full gossip (and the
+// ablation shows it failing to deliver it).
+func (Naive) Evaluator(p Params) sim.Evaluator {
+	return FullGossipEvaluator{Params: p.WithDefaults()}
+}
+
+type naiveNode struct {
+	Tracker
+	id   sim.ProcID
+	n    int
+	reps int
+	step int
+	r    *rng.RNG
+}
+
+var (
+	_ sim.Node    = (*naiveNode)(nil)
+	_ RumorHolder = (*naiveNode)(nil)
+	_ sim.Cloner  = (*naiveNode)(nil)
+)
+
+// ID implements sim.Node.
+func (nn *naiveNode) ID() sim.ProcID { return nn.id }
+
+// Step implements sim.Node: absorb, then push to one random target until
+// the fixed repetition budget runs out — no matter what has or has not
+// been learned.
+func (nn *naiveNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
+	for _, m := range inbox {
+		if pl, ok := m.Payload.(*GossipPayload); ok {
+			nn.Absorb(pl.Rumors, now)
+		}
+	}
+	if nn.step >= nn.reps {
+		return
+	}
+	nn.step++
+	out.Send(sim.ProcID(nn.r.Intn(nn.n)), &GossipPayload{Rumors: nn.Rumors().Snapshot()})
+}
+
+// Quiescent implements sim.Node.
+func (nn *naiveNode) Quiescent() bool { return nn.step >= nn.reps }
+
+// CloneNode implements sim.Cloner.
+func (nn *naiveNode) CloneNode() sim.Node {
+	return &naiveNode{
+		Tracker: nn.CloneTracker(),
+		id:      nn.id,
+		n:       nn.n,
+		reps:    nn.reps,
+		step:    nn.step,
+		r:       nn.r.Clone(),
+	}
+}
+
+// Reseed implements Reseeder.
+func (nn *naiveNode) Reseed(r *rng.RNG) { nn.r = r }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// starvedSchedule freezes one process until switchAt, then schedules
+// everyone — the asynchrony pathology of the paper's introduction: "one of
+// the processes begins its r-th iteration long after the other has
+// completed that iteration".
+type starvedSchedule struct {
+	victim   sim.ProcID
+	switchAt sim.Time
+	n        int
+}
+
+func (s *starvedSchedule) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	for i := 0; i < s.n; i++ {
+		if sim.ProcID(i) == s.victim && t < s.switchAt {
+			continue
+		}
+		buf = append(buf, sim.ProcID(i))
+	}
+	return buf
+}
+
+// runStarved executes proto with process 0 frozen until everyone else has
+// long finished their repetition budgets.
+func runStarved(t *testing.T, proto Protocol, n int, switchAt sim.Time, seed int64) (sim.Result, error) {
+	t.Helper()
+	cfg := sim.Config{N: n, F: 0, D: 1, Delta: 1, Seed: seed, MaxSteps: switchAt * 4}
+	p := Params{N: n, F: 0}
+	nodes, err := NewNodes(proto, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := adversary.Compose(&starvedSchedule{victim: 0, switchAt: switchAt, n: n}, nil, nil)
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Run(proto.Evaluator(p))
+}
+
+func TestNaiveEpidemicFailsUnderStarvation(t *testing.T) {
+	// The naive fixed-repetition epidemic: the starved process wakes after
+	// everyone else went permanently silent, sends its rumor to a handful
+	// of random targets who never forward it, and the run ends with the
+	// gathering property violated. This is the paper's argument for why
+	// "repeat c·log n times" does not survive asynchrony.
+	failures := 0
+	const seeds = 6
+	for seed := int64(0); seed < seeds; seed++ {
+		res, err := runStarved(t, Naive{}, 64, 3000, seed)
+		if err != nil && !res.TimedOut {
+			failures++ // evaluator rejected: some rumor never gathered
+		}
+	}
+	if failures == 0 {
+		t.Fatal("naive epidemic survived starvation in all seeds; ablation should show failures")
+	}
+	t.Logf("naive epidemic failed gathering in %d/%d starved runs", failures, seeds)
+}
+
+func TestEARSSurvivesSameStarvation(t *testing.T) {
+	// Identical schedule, ears: the informed list reopens (L(p) ≠ ∅ for
+	// the late rumor) and the system reawakens until the rumor is fully
+	// disseminated. Every run must complete.
+	for seed := int64(0); seed < 6; seed++ {
+		res, err := runStarved(t, EARS{}, 64, 3000, seed)
+		if err != nil {
+			t.Fatalf("seed %d: ears failed under starvation: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestNaiveCompletesWhenBenign(t *testing.T) {
+	// Control: with a synchronous schedule the naive epidemic is fine —
+	// the failure is specifically an asynchrony failure.
+	for seed := int64(0); seed < 3; seed++ {
+		res, err := runGossip2(Naive{}, Params{}, sim.Config{N: 64, F: 0, D: 1, Delta: 1, Seed: seed}, adversary.PresetBenign)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+// runGossip2 mirrors tryRunGossip for use in this file.
+func runGossip2(proto Protocol, p Params, cfg sim.Config, preset string) (sim.Result, error) {
+	p.N, p.F = cfg.N, cfg.F
+	nodes, err := NewNodes(proto, p, cfg.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	adv, err := adversary.ByName(preset, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return w.Run(proto.Evaluator(p.WithDefaults()))
+}
+
+func TestNaiveTimeoutVsRejection(t *testing.T) {
+	// When the naive run fails it must fail *cleanly*: quiescent world,
+	// evaluator rejection (gathering violated) — not a timeout.
+	res, err := runStarved(t, Naive{}, 64, 3000, 0)
+	if err == nil {
+		t.Skip("this seed happened to complete; covered by the aggregate test")
+	}
+	if res.TimedOut {
+		t.Fatalf("naive run timed out instead of quiescing incomplete: %+v", res)
+	}
+	if errors.Is(err, sim.ErrTimeout) {
+		t.Fatal("unexpected timeout error")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Protocol is a gossip protocol family: a node factory plus the completion
+// predicate the protocol promises (full gossip or majority gossip).
+type Protocol interface {
+	// Name returns the protocol's short name ("ears", "sears", ...).
+	Name() string
+	// NewNode builds the state machine for process id. r is the node's
+	// private random stream; nodes must draw randomness only from it.
+	NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node
+	// Evaluator returns the post-run judge for the protocol's correctness
+	// condition under parameters p.
+	Evaluator(p Params) sim.Evaluator
+}
+
+// Protocol names accepted by ByName.
+const (
+	NameTrivial = "trivial"
+	NameEARS    = "ears"
+	NameSEARS   = "sears"
+	NameTEARS   = "tears"
+)
+
+// Names lists the protocols provided by this package (naive is the §1
+// strawman ablation, not a paper contribution).
+func Names() []string {
+	return []string{NameTrivial, NameEARS, NameSEARS, NameTEARS, NameNaive}
+}
+
+// ByName returns the named protocol.
+func ByName(name string) (Protocol, error) {
+	switch name {
+	case NameTrivial:
+		return Trivial{}, nil
+	case NameEARS:
+		return EARS{}, nil
+	case NameSEARS:
+		return SEARS{}, nil
+	case NameTEARS:
+		return TEARS{}, nil
+	case NameNaive:
+		return Naive{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q (have %v)", name, Names())
+	}
+}
+
+// NewNodes builds the n nodes of a protocol instance. Each node receives an
+// independent stream forked from the seed, so runs are reproducible and the
+// streams are disjoint from any adversary stream (which forks with a
+// different tag).
+func NewNodes(proto Protocol, p Params, seed int64) ([]sim.Node, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed).Fork(0x90551)
+	nodes := make([]sim.Node, p.N)
+	for i := 0; i < p.N; i++ {
+		nodes[i] = proto.NewNode(sim.ProcID(i), p, root.Fork(uint64(i)))
+	}
+	return nodes, nil
+}
+
+// Reseeder is implemented by nodes whose randomness can be replaced. The
+// Theorem 1 adversary estimates the distribution of a process's future
+// behaviour by cloning its state and re-running it with fresh coin flips;
+// replacing the stream of a clone realizes "expectation over the process's
+// randomness" by Monte Carlo.
+type Reseeder interface {
+	Reseed(r *rng.RNG)
+}
+
+// Reseed implements Reseeder for ears/sears nodes.
+func (e *earsNode) Reseed(r *rng.RNG) { e.r = r }
+
+// Reseed implements Reseeder for tears nodes. Note the audiences Π1, Π2
+// were fixed at construction; only future coin flips change.
+func (t *tearsNode) Reseed(r *rng.RNG) { t.r = r }
+
+// GossipPayload is the message payload exchanged by the protocols in this
+// package: the sender's rumor collection and, for informed-list protocols
+// (ears, sears), a snapshot of the informed-list matrix. All components are
+// copy-on-write snapshots; receivers must not mutate them.
+type GossipPayload struct {
+	Rumors   *Rumors
+	Informed informedSnapshot
+	// Flag is the tears first-level marker (↑ in Figure 3).
+	Flag bool
+}
+
+var _ sim.Sizer = (*GossipPayload)(nil)
+
+// SizeBytes implements sim.Sizer: dense rumor bitmap, values, plus a sparse
+// encoding of the informed list (the paper's bit-complexity future work).
+func (g *GossipPayload) SizeBytes() int {
+	b := 1 // flag
+	if g.Rumors != nil {
+		b += g.Rumors.SizeBytes()
+	}
+	b += g.Informed.sizeBytes()
+	return b
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Trivial is the baseline gossip protocol from the paper's introduction:
+// "the trivial gossip algorithm in which each process sends its rumor
+// directly to everyone else has Θ(n²) message complexity and time
+// complexity O(d+δ)". Each process sends its rumor to all n−1 others in
+// its first local step and is then quiescent.
+type Trivial struct{}
+
+var _ Protocol = Trivial{}
+
+// Name implements Protocol.
+func (Trivial) Name() string { return NameTrivial }
+
+// NewNode implements Protocol.
+func (Trivial) NewNode(id sim.ProcID, p Params, _ *rng.RNG) sim.Node {
+	p = p.WithDefaults()
+	return &trivialNode{
+		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
+		id:      id,
+		n:       p.N,
+	}
+}
+
+// Evaluator implements Protocol: trivial achieves full gossip.
+func (Trivial) Evaluator(p Params) sim.Evaluator {
+	return FullGossipEvaluator{Params: p.WithDefaults()}
+}
+
+type trivialNode struct {
+	Tracker
+	id   sim.ProcID
+	n    int
+	sent bool
+}
+
+var (
+	_ sim.Node    = (*trivialNode)(nil)
+	_ RumorHolder = (*trivialNode)(nil)
+	_ sim.Cloner  = (*trivialNode)(nil)
+)
+
+// ID implements sim.Node.
+func (t *trivialNode) ID() sim.ProcID { return t.id }
+
+// Step implements sim.Node.
+func (t *trivialNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
+	for _, m := range inbox {
+		if pl, ok := m.Payload.(*GossipPayload); ok {
+			t.Absorb(pl.Rumors, now)
+		}
+	}
+	if t.sent {
+		return
+	}
+	t.sent = true
+	payload := &GossipPayload{Rumors: t.rum.Snapshot()}
+	for q := 0; q < t.n; q++ {
+		if sim.ProcID(q) != t.id {
+			out.Send(sim.ProcID(q), payload)
+		}
+	}
+}
+
+// Quiescent implements sim.Node.
+func (t *trivialNode) Quiescent() bool { return t.sent }
+
+// CloneNode implements sim.Cloner.
+func (t *trivialNode) CloneNode() sim.Node {
+	return &trivialNode{
+		Tracker: t.CloneTracker(),
+		id:      t.id,
+		n:       t.n,
+		sent:    t.sent,
+	}
+}

@@ -1,0 +1,223 @@
+// Package experiments is the measurement harness behind every table and
+// figure of the paper (see DESIGN.md §4 for the experiment index):
+//
+//	Table1        — gossip protocols: time and message complexity
+//	Table2        — consensus protocols (Canetti–Rabin + gossip get-core)
+//	Figure1       — the Theorem 1 adaptive-adversary construction
+//	CostOfAsynchrony — Corollary 2 ratios
+//	Ablation*     — design-choice sweeps (DESIGN.md §6)
+//
+// The same entry points back the cmd/tables CLI and the root bench suite.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/syncgossip"
+)
+
+// GossipSpec describes one gossip measurement point.
+type GossipSpec struct {
+	Proto  string // core protocol name or syncgossip name
+	N, F   int
+	D      sim.Time
+	Delta  sim.Time
+	Preset string
+	Seeds  int
+	Gossip core.Params
+}
+
+// Measurement aggregates repeated runs of one spec.
+type Measurement struct {
+	Time     stats.Summary // paper time complexity (steps)
+	Messages stats.Summary
+	Bytes    stats.Summary
+	Runs     int
+	Failures int // runs whose evaluator rejected or that timed out
+}
+
+// protoByName resolves asynchronous and synchronous protocols.
+func protoByName(name string) (core.Protocol, error) {
+	if p, err := core.ByName(name); err == nil {
+		return p, nil
+	}
+	if p, err := syncgossip.ByName(name); err == nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown protocol %q", name)
+}
+
+// MeasureGossip runs the spec over its seeds and aggregates.
+func MeasureGossip(spec GossipSpec) (Measurement, error) {
+	proto, err := protoByName(spec.Proto)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 3
+	}
+	if spec.Preset == "" {
+		spec.Preset = adversary.PresetStandard
+	}
+	var times, msgs, bytes []float64
+	failures := 0
+	for seed := int64(0); seed < int64(spec.Seeds); seed++ {
+		res, err := runGossipOnce(proto, spec, seed)
+		if err != nil {
+			failures++
+			continue
+		}
+		times = append(times, float64(res.TimeComplexity))
+		msgs = append(msgs, float64(res.Messages))
+		bytes = append(bytes, float64(res.Bytes))
+	}
+	m := Measurement{
+		Time:     stats.Summarize(times),
+		Messages: stats.Summarize(msgs),
+		Bytes:    stats.Summarize(bytes),
+		Runs:     spec.Seeds,
+		Failures: failures,
+	}
+	if failures == spec.Seeds {
+		return m, fmt.Errorf("experiments: all %d runs of %s failed", spec.Seeds, spec.Proto)
+	}
+	return m, nil
+}
+
+func runGossipOnce(proto core.Protocol, spec GossipSpec, seed int64) (sim.Result, error) {
+	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
+	p := spec.Gossip
+	p.N, p.F = spec.N, spec.F
+	nodes, err := core.NewNodes(proto, p, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	adv, err := adversary.ByName(spec.Preset, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return w.Run(proto.Evaluator(p.WithDefaults()))
+}
+
+// ConsensusSpec describes one consensus measurement point.
+type ConsensusSpec struct {
+	Transport consensus.TransportKind
+	N, F      int
+	D         sim.Time
+	Delta     sim.Time
+	Preset    string
+	Seeds     int
+	Gossip    core.Params
+	LocalCoin bool
+	// SplitInputs proposes a perfect 0/1 split instead of random inputs —
+	// the adversarial vote pattern that forces coin rounds.
+	SplitInputs bool
+}
+
+// MeasureConsensus runs the spec over its seeds and aggregates.
+func MeasureConsensus(spec ConsensusSpec) (Measurement, error) {
+	if spec.Seeds <= 0 {
+		spec.Seeds = 3
+	}
+	if spec.Preset == "" {
+		spec.Preset = adversary.PresetStandard
+	}
+	var times, msgs, bytes []float64
+	failures := 0
+	for seed := int64(0); seed < int64(spec.Seeds); seed++ {
+		res, err := runConsensusOnce(spec, seed)
+		if err != nil {
+			failures++
+			continue
+		}
+		// Consensus "time" is when the last correct process decides.
+		times = append(times, float64(res.CompletedAt))
+		msgs = append(msgs, float64(res.Messages))
+		bytes = append(bytes, float64(res.Bytes))
+	}
+	m := Measurement{
+		Time:     stats.Summarize(times),
+		Messages: stats.Summarize(msgs),
+		Bytes:    stats.Summarize(bytes),
+		Runs:     spec.Seeds,
+		Failures: failures,
+	}
+	if failures == spec.Seeds {
+		return m, fmt.Errorf("experiments: all %d runs of CR-%s failed", spec.Seeds, spec.Transport)
+	}
+	return m, nil
+}
+
+func runConsensusOnce(spec ConsensusSpec, seed int64) (sim.Result, error) {
+	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
+	p := consensus.Params{
+		N: spec.N, F: spec.F,
+		Transport: spec.Transport,
+		Gossip:    spec.Gossip,
+	}
+	if spec.LocalCoin {
+		p.Coin = consensus.NewLocalCoin(seed)
+	}
+	inputs := consensus.RandomInputs(spec.N, seed+1000)
+	if spec.SplitInputs {
+		for i := range inputs {
+			inputs[i] = uint8(i % 2)
+		}
+	}
+	nodes, err := consensus.NewNodes(p, inputs, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	adv, err := adversary.ByName(spec.Preset, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return w.Run(consensus.Evaluator{Inputs: inputs})
+}
+
+// Scale selects experiment sizes: Quick keeps CI runtimes small, Full is
+// the configuration EXPERIMENTS.md reports.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// gossipNs returns the n sweep for gossip scaling fits.
+func (s Scale) gossipNs() []int {
+	if s == Full {
+		return []int{64, 128, 256, 512}
+	}
+	return []int{32, 64, 128}
+}
+
+// consensusNs returns the n sweep for consensus.
+func (s Scale) consensusNs() []int {
+	if s == Full {
+		return []int{32, 64, 128, 256}
+	}
+	return []int{16, 32, 64}
+}
+
+// seeds returns the per-point repetition count.
+func (s Scale) seeds() int {
+	if s == Full {
+		return 5
+	}
+	return 2
+}

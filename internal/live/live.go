@@ -1,0 +1,358 @@
+// Package live runs the same protocol nodes as the deterministic
+// simulator over real goroutines and channels: one goroutine per process,
+// buffered channels as links, randomized link delays, and wall-clock
+// pacing. The discrete-time simulator (package sim) exists because the
+// paper's complexity measures and adversaries are defined over it; this
+// runtime exists because the protocols themselves are genuinely
+// asynchronous message-passing algorithms, and running them over Go's
+// scheduler — an uncontrolled, real asynchronous adversary — is both a
+// stress test and the deployment shape a library user would start from.
+//
+// Concurrency design:
+//
+//   - Each process is one goroutine owning its node exclusively; nodes
+//     need no locks.
+//   - Message payloads are copy-on-write snapshots that are never written
+//     after publication (see core.Rumors), so cross-goroutine sharing is
+//     race-free by construction; the race detector runs clean over this
+//     package's tests.
+//   - Termination uses credit counting: a global in-flight counter is
+//     incremented at send and decremented only after the receiver has
+//     *processed* (or a crashed receiver has drained) the message. The
+//     world is done when every live process reports quiescence and the
+//     counter reads zero twice in a row (the standard double-check against
+//     the count-then-quiesce race).
+//   - Crashed processes keep draining their inboxes without stepping, so
+//     credit accounting stays exact.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a live run.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// StepEvery is the mean pacing of local steps (jittered ±50% per
+	// process to create genuine relative-speed asynchrony). Default 200µs.
+	StepEvery time.Duration
+	// MinDelay/MaxDelay bound the injected link delay. Defaults 0/1ms.
+	MinDelay, MaxDelay time.Duration
+	// Crashes maps process IDs to the time (after start) at which they
+	// halt. Crashed processes stop stepping but keep draining.
+	Crashes map[sim.ProcID]time.Duration
+	// Timeout aborts the run. Default 30s.
+	Timeout time.Duration
+	// Seed drives delay jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StepEvery <= 0 {
+		c.StepEvery = 200 * time.Microsecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Report summarizes a live run.
+type Report struct {
+	// Completed: the cluster reached quiescence before the timeout and
+	// the evaluator (if any) accepted.
+	Completed bool
+	// Wall is the elapsed wall-clock time to quiescence.
+	Wall time.Duration
+	// Messages is the total number of point-to-point messages.
+	Messages int64
+	// Crashed lists the crashed processes.
+	Crashed []sim.ProcID
+	// Detail carries the evaluator's objection when !Completed.
+	Detail string
+}
+
+// ErrLiveTimeout is returned when the cluster does not quiesce in time.
+var ErrLiveTimeout = errors.New("live: cluster did not quiesce before the timeout")
+
+// Cluster drives one live execution.
+type Cluster struct {
+	cfg   Config
+	nodes []sim.Node
+
+	inboxes  []chan sim.Message
+	inflight atomic.Int64
+	quiet    []atomic.Bool
+	alive    []atomic.Bool
+	steps    []atomic.Int64
+	messages atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCluster wraps protocol nodes for live execution. Node i must report
+// ID i.
+func NewCluster(cfg Config, nodes []sim.Node) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(nodes) != cfg.N {
+		return nil, fmt.Errorf("live: %d nodes for N = %d", len(nodes), cfg.N)
+	}
+	for i, nd := range nodes {
+		if nd == nil || int(nd.ID()) != i {
+			return nil, fmt.Errorf("live: bad node at index %d", i)
+		}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   nodes,
+		inboxes: make([]chan sim.Message, cfg.N),
+		quiet:   make([]atomic.Bool, cfg.N),
+		alive:   make([]atomic.Bool, cfg.N),
+		steps:   make([]atomic.Int64, cfg.N),
+		stop:    make(chan struct{}),
+	}
+	for i := range c.inboxes {
+		// Generous buffering: senders must never block on a slow receiver
+		// (the model has unbounded links); overflow falls back to a
+		// blocking send which the drain loops keep moving.
+		c.inboxes[i] = make(chan sim.Message, 4*cfg.N+64)
+		c.alive[i].Store(true)
+	}
+	return c, nil
+}
+
+// Run executes the cluster until quiescence or timeout and evaluates the
+// outcome (nil evaluator accepts).
+func (c *Cluster) Run(eval sim.Evaluator) (Report, error) {
+	start := time.Now()
+	for i := 0; i < c.cfg.N; i++ {
+		c.wg.Add(1)
+		go c.process(sim.ProcID(i), start)
+	}
+
+	done := make(chan struct{})
+	var timedOut atomic.Bool
+	go c.monitor(done, &timedOut, start)
+
+	<-done
+	close(c.stop)
+	c.wg.Wait()
+
+	rep := Report{
+		Wall:     time.Since(start),
+		Messages: c.messages.Load(),
+	}
+	for i := 0; i < c.cfg.N; i++ {
+		if !c.alive[i].Load() {
+			rep.Crashed = append(rep.Crashed, sim.ProcID(i))
+		}
+	}
+	if timedOut.Load() {
+		rep.Detail = "timeout"
+		return rep, fmt.Errorf("%w (after %v, %d messages)", ErrLiveTimeout, c.cfg.Timeout, rep.Messages)
+	}
+	out := sim.Outcome{OK: true}
+	if eval != nil {
+		out = eval.Evaluate(c.view())
+	}
+	rep.Completed = out.OK
+	rep.Detail = out.Detail
+	if !out.OK {
+		return rep, fmt.Errorf("live: evaluator rejected: %s", out.Detail)
+	}
+	return rep, nil
+}
+
+// process is the per-node goroutine.
+func (c *Cluster) process(id sim.ProcID, start time.Time) {
+	defer c.wg.Done()
+	r := rng.New(c.cfg.Seed).Fork(0x11FE).Fork(uint64(id))
+	// Jittered pacing: each process steps at its own rhythm (relative
+	// process speed is genuinely unbounded under the Go scheduler; the
+	// jitter just widens the spread).
+	pace := c.cfg.StepEvery/2 + time.Duration(r.Intn(int(c.cfg.StepEvery)))
+	ticker := time.NewTicker(pace)
+	defer ticker.Stop()
+
+	var crashAt time.Duration
+	if t, ok := c.cfg.Crashes[id]; ok {
+		crashAt = t
+	}
+
+	out := sim.NewOutbox(id, 0, c.cfg.N)
+	inbox := make([]sim.Message, 0, 64)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+
+		if crashAt > 0 && time.Since(start) >= crashAt && c.alive[id].Load() {
+			c.alive[id].Store(false)
+			c.quiet[id].Store(true)
+		}
+		if !c.alive[id].Load() {
+			c.drain(id) // keep credit accounting exact
+			continue
+		}
+
+		inbox = inbox[:0]
+	recv:
+		for {
+			select {
+			case m := <-c.inboxes[id]:
+				inbox = append(inbox, m)
+			default:
+				break recv
+			}
+		}
+
+		now := sim.Time(time.Since(start) / time.Millisecond)
+		out.Reset(id, now, c.cfg.N)
+		c.nodes[id].Step(now, inbox, out)
+		c.steps[id].Add(1)
+		// Credits: the messages just consumed are now fully processed.
+		if len(inbox) > 0 {
+			c.inflight.Add(-int64(len(inbox)))
+		}
+		for _, m := range out.Messages() {
+			c.messages.Add(1)
+			c.inflight.Add(1)
+			c.deliver(m, r)
+		}
+		c.quiet[id].Store(c.nodes[id].Quiescent())
+	}
+}
+
+// drain empties a crashed process's inbox, returning credits.
+func (c *Cluster) drain(id sim.ProcID) {
+	for {
+		select {
+		case <-c.inboxes[id]:
+			c.inflight.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// deliver ships a message with injected delay. Delivery runs in its own
+// goroutine so a full inbox never blocks the sender's step loop.
+func (c *Cluster) deliver(m sim.Message, r *rng.RNG) {
+	delay := c.cfg.MinDelay
+	if span := c.cfg.MaxDelay - c.cfg.MinDelay; span > 0 {
+		delay += time.Duration(r.Int63() % int64(span))
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if delay > 0 {
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-c.stop:
+				c.inflight.Add(-1)
+				return
+			}
+		}
+		select {
+		case c.inboxes[m.To] <- m:
+		case <-c.stop:
+			c.inflight.Add(-1)
+		}
+	}()
+}
+
+// monitor waits for quiescence (double-checked credit counting) or
+// timeout, then signals done.
+func (c *Cluster) monitor(done chan struct{}, timedOut *atomic.Bool, start time.Time) {
+	defer close(done)
+	tick := time.NewTicker(c.cfg.StepEvery * 4)
+	defer tick.Stop()
+	consecutive := 0
+	for {
+		<-tick.C
+		if time.Since(start) > c.cfg.Timeout {
+			timedOut.Store(true)
+			return
+		}
+		if c.inflight.Load() == 0 && c.allQuiet() {
+			consecutive++
+			if consecutive >= 3 {
+				return
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+}
+
+func (c *Cluster) allQuiet() bool {
+	for i := 0; i < c.cfg.N; i++ {
+		if c.alive[i].Load() && !c.quiet[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// view adapts the finished cluster to sim.View for evaluators. Only valid
+// after Run returns (all goroutines joined).
+func (c *Cluster) view() sim.View { return (*clusterView)(c) }
+
+type clusterView Cluster
+
+func (v *clusterView) N() int        { return v.cfg.N }
+func (v *clusterView) Now() sim.Time { return 0 }
+func (v *clusterView) AliveCount() int {
+	n := 0
+	for i := 0; i < v.cfg.N; i++ {
+		if v.alive[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+func (v *clusterView) Alive(p sim.ProcID) bool {
+	return int(p) >= 0 && int(p) < v.cfg.N && v.alive[p].Load()
+}
+func (v *clusterView) Node(p sim.ProcID) sim.Node { return v.nodes[p] }
+func (v *clusterView) MessagesSent() int64        { return v.messages.Load() }
+func (v *clusterView) StepsTaken(p sim.ProcID) int64 {
+	if int(p) < 0 || int(p) >= v.cfg.N {
+		return 0
+	}
+	return v.steps[p].Load()
+}
+
+// RunGossip is the package's convenience entry point: build protocol nodes
+// and run them live.
+func RunGossip(proto core.Protocol, params core.Params, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	params.N = cfg.N
+	params.F = len(cfg.Crashes)
+	nodes, err := core.NewNodes(proto, params, cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		return Report{}, err
+	}
+	return cl.Run(proto.Evaluator(params.WithDefaults()))
+}

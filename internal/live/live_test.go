@@ -1,0 +1,219 @@
+package live
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func liveCfg(n int) Config {
+	return Config{
+		N:         n,
+		StepEvery: 100 * time.Microsecond,
+		MaxDelay:  500 * time.Microsecond,
+		Timeout:   20 * time.Second,
+		Seed:      1,
+	}
+}
+
+func TestLiveTrivialGossip(t *testing.T) {
+	rep, err := RunGossip(core.Trivial{}, core.Params{}, liveCfg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	if want := int64(16 * 15); rep.Messages != want {
+		t.Fatalf("messages = %d, want %d", rep.Messages, want)
+	}
+}
+
+func TestLiveEARSGossip(t *testing.T) {
+	rep, err := RunGossip(core.EARS{}, core.Params{}, liveCfg(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	if rep.Messages == 0 {
+		t.Fatal("no messages")
+	}
+}
+
+func TestLiveTEARSMajority(t *testing.T) {
+	rep, err := RunGossip(core.TEARS{}, core.Params{}, liveCfg(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestLiveEARSWithCrashes(t *testing.T) {
+	cfg := liveCfg(24)
+	cfg.Crashes = map[sim.ProcID]time.Duration{
+		3:  2 * time.Millisecond,
+		7:  4 * time.Millisecond,
+		11: 1 * time.Millisecond,
+	}
+	rep, err := RunGossip(core.EARS{}, core.Params{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	if len(rep.Crashed) != 3 {
+		t.Fatalf("crashed = %v", rep.Crashed)
+	}
+}
+
+func TestLiveSEARSUnderSlowLinks(t *testing.T) {
+	cfg := liveCfg(24)
+	cfg.MinDelay = time.Millisecond
+	cfg.MaxDelay = 3 * time.Millisecond
+	rep, err := RunGossip(core.SEARS{}, core.Params{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestLiveTimeout(t *testing.T) {
+	// A node that is never quiescent must trip the timeout cleanly.
+	cfg := liveCfg(2)
+	cfg.Timeout = 200 * time.Millisecond
+	nodes := []sim.Node{&restlessNode{id: 0}, &restlessNode{id: 1}}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Run(nil)
+	if !errors.Is(err, ErrLiveTimeout) {
+		t.Fatalf("want ErrLiveTimeout, got %v", err)
+	}
+}
+
+// restlessNode never quiesces (but also never sends, keeping the run
+// bounded).
+type restlessNode struct{ id sim.ProcID }
+
+func (r *restlessNode) ID() sim.ProcID                            { return r.id }
+func (r *restlessNode) Step(sim.Time, []sim.Message, *sim.Outbox) {}
+func (r *restlessNode) Quiescent() bool                           { return false }
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 2}, []sim.Node{&restlessNode{id: 0}}); err == nil {
+		t.Fatal("wrong node count accepted")
+	}
+	if _, err := NewCluster(Config{N: 1}, []sim.Node{nil}); err == nil {
+		t.Fatal("nil node accepted")
+	}
+	if _, err := NewCluster(Config{N: 1}, []sim.Node{&restlessNode{id: 9}}); err == nil {
+		t.Fatal("mismatched ID accepted")
+	}
+}
+
+func TestLiveRumorSetsConsistent(t *testing.T) {
+	// After a live ears run, every live node must hold every live node's
+	// rumor — same property the simulator checks, now under the Go
+	// scheduler's genuine asynchrony.
+	cfg := liveCfg(20)
+	cfg.Crashes = map[sim.ProcID]time.Duration{5: time.Millisecond}
+	params := core.Params{N: cfg.N, F: 1}
+	nodes, err := core.NewNodes(core.EARS{}, params, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(core.EARS{}.Evaluator(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	for i, nd := range nodes {
+		if sim.ProcID(i) == 5 {
+			continue
+		}
+		h := nd.(core.RumorHolder)
+		for q := 0; q < cfg.N; q++ {
+			if q == 5 {
+				continue
+			}
+			if !h.RumorSet().Test(q) {
+				t.Fatalf("live node %d missing rumor %d", i, q)
+			}
+		}
+	}
+}
+
+func TestLiveConsensus(t *testing.T) {
+	// The consensus nodes are ordinary sim.Nodes: run the full
+	// Canetti-Rabin protocol (direct transport) over real goroutines and
+	// channels and check agreement/validity/termination with the same
+	// evaluator the simulator uses.
+	cfg := liveCfg(16)
+	cfg.Crashes = map[sim.ProcID]time.Duration{2: 2 * time.Millisecond}
+	p := consensus.Params{N: cfg.N, F: 1, Transport: consensus.TransportDirect}
+	inputs := consensus.RandomInputs(cfg.N, 9)
+	nodes, err := consensus.NewNodes(p, inputs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(consensus.Evaluator{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+}
+
+func TestLiveConsensusGossipTransport(t *testing.T) {
+	// CR-tears over the live runtime.
+	cfg := liveCfg(24)
+	p := consensus.Params{N: cfg.N, F: 0, Transport: consensus.TransportTEARS}
+	inputs := consensus.UniformInputs(cfg.N, 1)
+	nodes, err := consensus.NewNodes(p, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(consensus.Evaluator{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	// Unanimous input 1 must decide 1 on every live node.
+	for i, nd := range nodes {
+		if sim.ProcID(i) == 2 {
+			continue
+		}
+		if decided, v, _ := nd.(*consensus.Node).Decided(); decided && v != 1 {
+			t.Fatalf("node %d decided %d on unanimous 1", i, v)
+		}
+	}
+}

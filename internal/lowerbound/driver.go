@@ -1,0 +1,160 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// driver is a hand-operated simulation kernel. Unlike sim.World it gives
+// the caller — the adaptive adversary — direct control over which process
+// steps when, which messages are delivered, withheld or dropped, and lets
+// it clone node state mid-execution. All messages are still counted at
+// send time, so complexity accounting matches sim.World.
+type driver struct {
+	n       int
+	nodes   []sim.Node
+	pending [][]sim.Message // deliverable messages per destination
+	held    [][]sim.Message // messages withheld by the adversary
+	alive   []bool
+	now     sim.Time
+	msgs    int64
+	crashes int
+
+	out *sim.Outbox
+	buf []sim.Message
+}
+
+func newDriver(n int, nodes []sim.Node) *driver {
+	d := &driver{
+		n:       n,
+		nodes:   nodes,
+		pending: make([][]sim.Message, n),
+		held:    make([][]sim.Message, n),
+		alive:   make([]bool, n),
+		out:     sim.NewOutbox(0, 0, n),
+	}
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	return d
+}
+
+func (d *driver) crash(p sim.ProcID) { d.alive[p] = false; d.crashes++ }
+
+func (d *driver) heldFor(p sim.ProcID) []sim.Message {
+	cp := make([]sim.Message, len(d.held[p]))
+	copy(cp, d.held[p])
+	return cp
+}
+
+func (d *driver) enqueue(m sim.Message, delay sim.Time) {
+	m.ReadyAt = d.now + delay
+	d.pending[m.To] = append(d.pending[m.To], m)
+}
+
+// drainReady removes and returns messages deliverable to p at the current
+// time. The returned slice is valid until the next drainReady call.
+func (d *driver) drainReady(p sim.ProcID) []sim.Message {
+	q := d.pending[p]
+	if len(q) == 0 {
+		return nil
+	}
+	d.buf = d.buf[:0]
+	keep := q[:0]
+	for _, m := range q {
+		if m.ReadyAt <= d.now {
+			d.buf = append(d.buf, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	d.pending[p] = keep
+	return d.buf
+}
+
+// runUntilQuiet executes the processes in sched, every step, with delay-1
+// delivery among them, withholding messages to processes marked in hold.
+// It returns the time at which every scheduled process is quiescent and no
+// message is pending for a scheduled process.
+func (d *driver) runUntilQuiet(sched []sim.ProcID, hold []bool, maxSteps sim.Time) (sim.Time, error) {
+	start := d.now
+	for d.now-start < maxSteps {
+		d.now++
+		for _, p := range sched {
+			if !d.alive[p] {
+				continue
+			}
+			inbox := d.drainReady(p)
+			d.out.Reset(p, d.now, d.n)
+			d.nodes[p].Step(d.now, inbox, d.out)
+			for _, m := range d.out.Messages() {
+				d.msgs++
+				if hold[m.To] {
+					d.held[m.To] = append(d.held[m.To], m)
+				} else {
+					d.enqueue(m, 1)
+				}
+			}
+		}
+		if d.quiet(sched) {
+			return d.now, nil
+		}
+	}
+	return d.now, fmt.Errorf("lowerbound: phase 1 did not quiesce within %d steps", maxSteps)
+}
+
+// quiet reports whether all scheduled processes are quiescent with no
+// pending deliverable messages.
+func (d *driver) quiet(sched []sim.ProcID) bool {
+	for _, p := range sched {
+		if !d.alive[p] {
+			continue
+		}
+		if len(d.pending[p]) > 0 {
+			return false
+		}
+		if !d.nodes[p].Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// stepNoDeliver steps p, delivering only its held phase-1 messages when
+// first is set; every message p sends is counted and then withheld forever
+// (the adversary sets d ≥ f/2+1 so nothing arrives within the window).
+func (d *driver) stepNoDeliver(p sim.ProcID, first bool) {
+	if !d.alive[p] {
+		return
+	}
+	var inbox []sim.Message
+	if first {
+		inbox = d.held[p]
+		d.held[p] = nil
+	}
+	d.out.Reset(p, d.now, d.n)
+	d.nodes[p].Step(d.now, inbox, d.out)
+	d.msgs += int64(len(d.out.Messages()))
+}
+
+// stepDeliverPair steps p with held messages (first step) plus any pending
+// deliveries, and returns a copy of the messages p sent for the adversary
+// to route.
+func (d *driver) stepDeliverPair(p sim.ProcID, first bool) []sim.Message {
+	if !d.alive[p] {
+		return nil
+	}
+	inbox := d.drainReady(p)
+	if first {
+		inbox = append(append([]sim.Message(nil), d.held[p]...), inbox...)
+		d.held[p] = nil
+	}
+	d.out.Reset(p, d.now, d.n)
+	d.nodes[p].Step(d.now, inbox, d.out)
+	msgs := d.out.Messages()
+	d.msgs += int64(len(msgs))
+	cp := make([]sim.Message, len(msgs))
+	copy(cp, msgs)
+	return cp
+}

@@ -1,0 +1,145 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator (splitmix64) with two properties the simulator depends on:
+//
+//   - Splittable streams: Fork derives an independent child stream from a
+//     parent, so each simulated process gets its own reproducible stream and
+//     the oblivious adversary gets one fixed before the execution starts.
+//   - Cloneable state: Clone copies the generator, which lets the adaptive
+//     lower-bound adversary of Theorem 1 branch a process's future and
+//     estimate, by Monte Carlo, the expected number of messages the process
+//     would send in isolation.
+//
+// math/rand is deliberately not used: its global state and non-splittable
+// sources make adversary obliviousness and run reproducibility fragile.
+package rng
+
+// RNG is a splitmix64 generator. The zero value is a valid generator seeded
+// with zero, but New or Fork should normally be used.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{state: mix(uint64(seed) ^ 0x9e3779b97f4a7c15)}
+}
+
+// mix is the splitmix64 finalizer, a strong 64-bit mixing function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix(r.state)
+}
+
+// Fork derives an independent child generator identified by id. Forking the
+// same parent state with the same id yields the same child; forking with
+// different ids yields streams that are independent for simulation purposes.
+// Fork does not advance the parent.
+func (r *RNG) Fork(id uint64) *RNG {
+	return &RNG{state: mix(r.state ^ mix(id^0xd6e8feb86659fd93))}
+}
+
+// Clone returns a copy of the generator that will produce the same future
+// sequence as r.
+func (r *RNG) Clone() *RNG {
+	return &RNG{state: r.state}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics; callers in this repository always pass n >= 1.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// 64-bit modulo bias for n << 2^64 is far below simulation noise.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. If k >= n it returns a permutation of [0, n).
+func (r *RNG) Sample(n, k int) []int {
+	if k >= n {
+		return r.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Floyd's algorithm: O(k) expected insertions with a small map.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Shuffle so order is uniform too.
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p: the number of Bernoulli(p) trials up to and including the
+// first success (support {1, 2, ...}). Used by workload generators.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 1 << 30
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<30 {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package sim
+
+// Metrics accumulates the complexity measures of a run. Message complexity
+// counts point-to-point messages at send time (messages to processes that
+// later crash, or that are in flight when the run ends, still count — the
+// paper counts "the number of point-to-point messages sent by all the
+// processes combined").
+type Metrics struct {
+	// Messages is the total number of point-to-point messages sent.
+	Messages int64
+	// Bytes is the total approximate payload bytes for payloads
+	// implementing Sizer; 0 for protocols that do not report sizes.
+	Bytes int64
+	// SentBy counts messages per sending process.
+	SentBy []int64
+	// DeliveredTo counts messages delivered per receiving process.
+	DeliveredTo []int64
+	// Steps counts local steps taken per process.
+	Steps []int64
+	// Crashes is the number of processes crashed during the run.
+	Crashes int
+	// LastSendAt is the time of the last message send (0 if none).
+	LastSendAt Time
+}
+
+func newMetrics(n int) *Metrics {
+	return &Metrics{
+		SentBy:      make([]int64, n),
+		DeliveredTo: make([]int64, n),
+		Steps:       make([]int64, n),
+	}
+}
+
+// TotalSteps returns the total number of local steps across processes.
+func (m *Metrics) TotalSteps() int64 {
+	var s int64
+	for _, v := range m.Steps {
+		s += v
+	}
+	return s
+}
+
+// MaxSentBy returns the largest per-process send count.
+func (m *Metrics) MaxSentBy() int64 {
+	var mx int64
+	for _, v := range m.SentBy {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Completed reports that the run went quiet and the evaluator accepted.
+	Completed bool
+	// TimedOut reports that MaxSteps elapsed before the world went quiet.
+	TimedOut bool
+	// CompletedAt is the evaluator's completion time (see Outcome).
+	CompletedAt Time
+	// QuiesceAt is the time at which the world went quiet: every live node
+	// quiescent and no message in flight to a live node.
+	QuiesceAt Time
+	// LastSendAt is the time of the last message send.
+	LastSendAt Time
+	// TimeComplexity is the paper's notion of gossip completion time: the
+	// time by which every correct process has both gathered what it must
+	// and stopped sending, i.e. max(CompletedAt, LastSendAt) for a
+	// successful run.
+	TimeComplexity Time
+	// Messages is the total number of point-to-point messages.
+	Messages int64
+	// Bytes is total payload bytes (see Metrics.Bytes).
+	Bytes int64
+	// Crashes is the number of crashed processes.
+	Crashes int
+	// Detail carries the evaluator's violation description when !Completed.
+	Detail string
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimeout is returned (wrapped) by Run when the world fails to go quiet
+// within the step budget. Tests use errors.Is to detect it; protocols that
+// satisfy the paper's quiescence property must never time out.
+var ErrTimeout = errors.New("sim: world did not go quiet within MaxSteps")
+
+// ErrDeltaViolated is returned when ValidateDelta is set and the adversary
+// starves a live process beyond the configured δ bound.
+var ErrDeltaViolated = errors.New("sim: schedule violated the δ bound")
+
+// World is a single-threaded discrete-time simulation of the paper's model.
+// It is intentionally not goroutine-per-process: adversarial scheduling,
+// exact message counting and reproducibility all require a deterministic
+// sequential kernel. (Goroutines and channels are used by the example
+// applications that embed the library, not by the model itself.)
+type World struct {
+	cfg     Config
+	nodes   []Node
+	adv     Adversary
+	tracer  Tracer
+	probe   func(View)
+	pending [][]Message // per-destination queues of undelivered messages
+	alive   []bool
+	nAlive  int
+	now     Time
+	metrics *Metrics
+
+	lastSched []Time // last time each process was scheduled (δ validation)
+
+	schedBuf []ProcID
+	crashBuf []ProcID
+	inboxBuf []Message
+	outbox   Outbox
+}
+
+var _ View = (*World)(nil)
+
+// NewWorld creates a world over the given nodes and adversary. The nodes
+// slice must have length cfg.N and node i must report ID i.
+func NewWorld(cfg Config, nodes []Node, adv Adversary) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) != cfg.N {
+		return nil, fmt.Errorf("sim: %d nodes for N = %d", len(nodes), cfg.N)
+	}
+	for i, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("sim: node %d is nil", i)
+		}
+		if int(nd.ID()) != i {
+			return nil, fmt.Errorf("sim: node at index %d reports ID %d", i, nd.ID())
+		}
+	}
+	if adv == nil {
+		return nil, errors.New("sim: adversary is nil")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps(cfg)
+	}
+	w := &World{
+		cfg:       cfg,
+		nodes:     nodes,
+		adv:       adv,
+		pending:   make([][]Message, cfg.N),
+		alive:     make([]bool, cfg.N),
+		nAlive:    cfg.N,
+		metrics:   newMetrics(cfg.N),
+		lastSched: make([]Time, cfg.N),
+	}
+	for i := range w.alive {
+		w.alive[i] = true
+		w.lastSched[i] = -1
+	}
+	return w, nil
+}
+
+// SetTracer installs an event tracer (nil disables tracing).
+func (w *World) SetTracer(t Tracer) { w.tracer = t }
+
+// SetProbe installs a function invoked with the world view at the end of
+// every time step (nil disables). Probes let experiments observe protocol
+// milestones (e.g. the stage structure of the ears analysis) without
+// touching the protocols; they must not mutate anything.
+func (w *World) SetProbe(probe func(View)) { w.probe = probe }
+
+// N implements View.
+func (w *World) N() int { return w.cfg.N }
+
+// Now implements View.
+func (w *World) Now() Time { return w.now }
+
+// Alive implements View.
+func (w *World) Alive(p ProcID) bool {
+	return int(p) >= 0 && int(p) < w.cfg.N && w.alive[p]
+}
+
+// AliveCount implements View.
+func (w *World) AliveCount() int { return w.nAlive }
+
+// Node implements View.
+func (w *World) Node(p ProcID) Node { return w.nodes[p] }
+
+// MessagesSent implements View.
+func (w *World) MessagesSent() int64 { return w.metrics.Messages }
+
+// StepsTaken implements View.
+func (w *World) StepsTaken(p ProcID) int64 {
+	if int(p) < 0 || int(p) >= w.cfg.N {
+		return 0
+	}
+	return w.metrics.Steps[p]
+}
+
+// Metrics exposes the accumulated metrics (read-only use).
+func (w *World) Metrics() *Metrics { return w.metrics }
+
+// Config returns the world configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Run executes the simulation until the world goes quiet (every live node
+// quiescent and no message in flight to a live process) or MaxSteps
+// elapses, then judges the run with the evaluator. A nil evaluator accepts
+// unconditionally with CompletedAt = quiesce time.
+func (w *World) Run(eval Evaluator) (Result, error) {
+	var res Result
+	quiet := false
+	for w.now = 0; w.now < w.cfg.MaxSteps; w.now++ {
+		if err := w.stepTime(); err != nil {
+			return res, err
+		}
+		if w.isQuiet() {
+			quiet = true
+			break
+		}
+	}
+	res.QuiesceAt = w.now
+	res.LastSendAt = w.metrics.LastSendAt
+	res.Messages = w.metrics.Messages
+	res.Bytes = w.metrics.Bytes
+	res.Crashes = w.metrics.Crashes
+	if !quiet {
+		res.TimedOut = true
+		res.Detail = "timeout"
+		return res, fmt.Errorf("%w (MaxSteps = %d, messages = %d)", ErrTimeout, w.cfg.MaxSteps, res.Messages)
+	}
+	out := Outcome{OK: true, CompletedAt: w.now}
+	if eval != nil {
+		out = eval.Evaluate(w)
+	}
+	res.Completed = out.OK
+	res.CompletedAt = out.CompletedAt
+	res.Detail = out.Detail
+	res.TimeComplexity = res.CompletedAt
+	if res.LastSendAt > res.TimeComplexity {
+		res.TimeComplexity = res.LastSendAt
+	}
+	if !out.OK {
+		return res, fmt.Errorf("sim: run went quiet but evaluator rejected: %s", out.Detail)
+	}
+	return res, nil
+}
+
+// stepTime advances the world by one time step.
+func (w *World) stepTime() error {
+	// 1. Crashes at the start of the step, subject to the budget F.
+	w.crashBuf = w.adv.Crashes(w.now, w, w.crashBuf[:0])
+	for _, p := range w.crashBuf {
+		if !w.Alive(p) || w.metrics.Crashes >= w.cfg.F {
+			continue
+		}
+		w.alive[p] = false
+		w.nAlive--
+		w.metrics.Crashes++
+		if w.tracer != nil {
+			w.tracer.OnCrash(p, w.now)
+		}
+	}
+
+	// 2. Schedule.
+	w.schedBuf = w.adv.Schedule(w.now, w, w.schedBuf[:0])
+	for _, p := range w.schedBuf {
+		if !w.Alive(p) {
+			continue
+		}
+		if err := w.stepProcess(p); err != nil {
+			return err
+		}
+	}
+
+	// 3. Experiment probe.
+	if w.probe != nil {
+		w.probe(w)
+	}
+
+	// 4. δ validation (tests only).
+	if w.cfg.ValidateDelta {
+		for p := 0; p < w.cfg.N; p++ {
+			if w.alive[p] && w.now-w.lastSched[p] >= w.cfg.Delta && w.now >= w.cfg.Delta {
+				return fmt.Errorf("%w: process %d not scheduled in (%d, %d]",
+					ErrDeltaViolated, p, w.lastSched[p], w.now)
+			}
+		}
+	}
+	return nil
+}
+
+// stepProcess runs one local step of live process p.
+func (w *World) stepProcess(p ProcID) error {
+	inbox := w.drainReady(p)
+	w.outbox.reset(p, w.now, w.cfg.N)
+	w.nodes[p].Step(w.now, inbox, &w.outbox)
+	w.metrics.Steps[p]++
+	w.lastSched[p] = w.now
+	for i := range w.outbox.msgs {
+		m := w.outbox.msgs[i]
+		delay := w.adv.Delay(w.now, m.From, m.To)
+		if delay < 1 {
+			delay = 1
+		}
+		if delay > w.cfg.D {
+			delay = w.cfg.D
+		}
+		m.ReadyAt = w.now + delay
+		w.metrics.Messages++
+		w.metrics.SentBy[m.From]++
+		w.metrics.LastSendAt = w.now
+		if s, ok := m.Payload.(Sizer); ok {
+			w.metrics.Bytes += int64(s.SizeBytes())
+		}
+		if obs, ok := w.adv.(SendObserver); ok {
+			obs.ObserveSend(m)
+		}
+		if w.tracer != nil {
+			w.tracer.OnSend(m)
+		}
+		w.pending[m.To] = append(w.pending[m.To], m)
+	}
+	if w.tracer != nil {
+		w.tracer.OnStep(p, w.now)
+	}
+	return nil
+}
+
+// drainReady removes and returns the messages pending for p whose ReadyAt
+// has arrived. The returned slice is valid until the next call.
+func (w *World) drainReady(p ProcID) []Message {
+	q := w.pending[p]
+	if len(q) == 0 {
+		return nil
+	}
+	w.inboxBuf = w.inboxBuf[:0]
+	keep := q[:0]
+	for _, m := range q {
+		if m.ReadyAt <= w.now {
+			w.inboxBuf = append(w.inboxBuf, m)
+			if w.tracer != nil {
+				w.tracer.OnDeliver(m, w.now)
+			}
+			w.metrics.DeliveredTo[p]++
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	w.pending[p] = keep
+	return w.inboxBuf
+}
+
+// isQuiet reports whether no live node will act again: every live node is
+// quiescent and no message is in flight to a live process. Messages pending
+// for crashed processes are ignored — they will never be delivered.
+func (w *World) isQuiet() bool {
+	for p := 0; p < w.cfg.N; p++ {
+		if !w.alive[p] {
+			continue
+		}
+		if len(w.pending[p]) > 0 {
+			return false
+		}
+		if !w.nodes[p].Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingCount returns the number of undelivered messages destined to live
+// processes (diagnostic).
+func (w *World) PendingCount() int {
+	c := 0
+	for p := 0; p < w.cfg.N; p++ {
+		if w.alive[p] {
+			c += len(w.pending[p])
+		}
+	}
+	return c
+}

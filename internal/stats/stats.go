@@ -1,0 +1,118 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summaries over repeated runs, ordinary least squares
+// on log–log data for empirical growth exponents, and plain-text table
+// rendering for the Table 1 / Table 2 reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics; an empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	if n := len(sorted); n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± std".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.Std)
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with goodness R².
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes ordinary least squares over (x, y) pairs.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: mismatched lengths %d, %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("stats: need at least 2 points, have %d", len(xs))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, fmt.Errorf("stats: degenerate x values")
+	}
+	f := Fit{}
+	f.Slope = (n*sxy - sx*sy) / den
+	f.Intercept = (sy - f.Slope*sx) / n
+	// R² = 1 − SSres/SStot.
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (f.Slope*xs[i] + f.Intercept)
+		ssRes += r * r
+	}
+	if ssTot > 0 {
+		f.R2 = 1 - ssRes/ssTot
+	} else {
+		f.R2 = 1
+	}
+	return f, nil
+}
+
+// GrowthExponent fits log(y) = e·log(x) + c and returns e: the empirical
+// growth exponent of y as a function of x. All values must be positive.
+func GrowthExponent(xs, ys []float64) (Fit, error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: growth exponent needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return LinearFit(lx, ly)
+}
