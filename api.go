@@ -10,6 +10,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/syncgossip"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -36,6 +37,11 @@ type (
 	ProtocolParams = core.Params
 	// LowerBoundReport is the outcome of the Theorem 1 adversary.
 	LowerBoundReport = lowerbound.Report
+	// Graph is a communication topology (implement or build via the
+	// topology Spec to run protocols on custom graphs).
+	Graph = topology.Graph
+	// TopologySpec describes a graph for topology-aware runs.
+	TopologySpec = topology.Spec
 )
 
 // Gossip protocol names accepted by GossipConfig.Protocol.
@@ -65,6 +71,34 @@ const (
 	TransportTEARS  = string(consensus.TransportTEARS)
 )
 
+// Topology family names accepted by the Topology fields. The empty string
+// (and TopoComplete) select the paper's complete graph, which reproduces
+// pre-topology results exactly for a fixed seed.
+const (
+	TopoComplete       = topology.FamilyComplete
+	TopoRing           = topology.FamilyRing
+	TopoTorus          = topology.FamilyTorus
+	TopoRandomRegular  = topology.FamilyRandomRegular
+	TopoErdosRenyi     = topology.FamilyErdosRenyi
+	TopoWattsStrogatz  = topology.FamilyWattsStrogatz
+	TopoBarabasiAlbert = topology.FamilyBarabasiAlbert
+)
+
+// Topologies lists the topology family names.
+func Topologies() []string { return topology.Families() }
+
+// buildTopology resolves the Topology fields of a config into a graph
+// (nil for the default complete graph, preserving legacy semantics and
+// random streams exactly).
+func buildTopology(family string, n int, param, param2 float64, seed int64) (topology.Graph, error) {
+	if family == "" {
+		return nil, nil
+	}
+	return topology.Build(topology.Spec{
+		Family: family, N: n, Param: param, Param2: param2, Seed: seed,
+	})
+}
+
 // GossipConfig configures RunGossip. Zero values default to: EARS, the
 // standard oblivious adversary, d = δ = 1, no failures.
 type GossipConfig struct {
@@ -89,6 +123,17 @@ type GossipConfig struct {
 	// in the result (intended for small N; the drawing is clipped at 160
 	// time steps).
 	Timeline bool
+	// Topology is one of the Topo* constants; empty means the paper's
+	// complete graph (identical results to pre-topology runs for a fixed
+	// seed). Protocols sample targets from their neighborhoods and the
+	// simulator drops (and counts) any send along a non-edge.
+	Topology string
+	// TopologyParam and TopologyParam2 are the family parameters (see
+	// TopologySpec): degree for random-regular, edge probability for
+	// erdos-renyi, k and β for watts-strogatz, m for barabasi-albert,
+	// rows for torus. Zero selects the documented defaults.
+	TopologyParam  float64
+	TopologyParam2 float64
 }
 
 func (c GossipConfig) withDefaults() GossipConfig {
@@ -127,6 +172,9 @@ type GossipResult struct {
 	Rumors [][]int
 	// Timeline is the rendered space–time diagram (GossipConfig.Timeline).
 	Timeline string
+	// OffEdgeDrops counts sends dropped for lack of a topology edge
+	// (always 0 on the complete graph).
+	OffEdgeDrops int64
 }
 
 // RunGossip simulates one gossip execution.
@@ -138,6 +186,13 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 	}
 	p := cfg.Tuning
 	p.N, p.F = cfg.N, cfg.F
+	graph, err := buildTopology(cfg.Topology, cfg.N, cfg.TopologyParam, cfg.TopologyParam2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if graph != nil {
+		p.Graph = graph
+	}
 	nodes, err := core.NewNodes(proto, p, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -146,6 +201,7 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 		N: cfg.N, F: cfg.F,
 		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
 		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
+		Graph: graph,
 	}
 	adv, err := adversary.ByName(cfg.Adversary, simCfg)
 	if err != nil {
@@ -162,11 +218,12 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 	}
 	res, runErr := w.Run(proto.Evaluator(p.WithDefaults()))
 	out := &GossipResult{
-		Completed: res.Completed,
-		TimeSteps: int64(res.TimeComplexity),
-		Messages:  res.Messages,
-		Bytes:     res.Bytes,
-		Crashes:   res.Crashes,
+		Completed:    res.Completed,
+		TimeSteps:    int64(res.TimeComplexity),
+		Messages:     res.Messages,
+		Bytes:        res.Bytes,
+		Crashes:      res.Crashes,
+		OffEdgeDrops: res.OffEdgeDrops,
 	}
 	if tl != nil {
 		out.Timeline = tl.Render()
@@ -218,6 +275,14 @@ type ConsensusConfig struct {
 	Tuning ProtocolParams
 	// MaxSteps caps the run (0 = generous default).
 	MaxSteps int64
+	// Topology restricts communication to a graph family, as in
+	// GossipConfig. The gossip transports (ears/sears/tears) sample
+	// within neighborhoods; the direct transport assumes the complete
+	// graph and will not reach consensus on sparse topologies.
+	Topology string
+	// TopologyParam and TopologyParam2 are the family parameters.
+	TopologyParam  float64
+	TopologyParam2 float64
 }
 
 func (c ConsensusConfig) withDefaults() ConsensusConfig {
@@ -255,6 +320,9 @@ type ConsensusResult struct {
 	MaxRounds int
 	// Inputs echoes the proposals used.
 	Inputs []uint8
+	// OffEdgeDrops counts sends dropped for lack of a topology edge —
+	// the diagnostic for running the direct transport on a sparse graph.
+	OffEdgeDrops int64
 }
 
 // RunConsensus simulates one consensus execution.
@@ -264,6 +332,13 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		N: cfg.N, F: cfg.F,
 		Transport: consensus.TransportKind(cfg.Transport),
 		Gossip:    cfg.Tuning,
+	}
+	graph, err := buildTopology(cfg.Topology, cfg.N, cfg.TopologyParam, cfg.TopologyParam2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if graph != nil {
+		p.Gossip.Graph = graph
 	}
 	if cfg.LocalCoin {
 		p.Coin = consensus.NewLocalCoin(cfg.Seed)
@@ -280,6 +355,7 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		N: cfg.N, F: cfg.F,
 		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
 		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
+		Graph: graph,
 	}
 	adv, err := adversary.ByName(cfg.Adversary, simCfg)
 	if err != nil {
@@ -291,12 +367,13 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 	}
 	res, runErr := w.Run(consensus.Evaluator{Inputs: inputs})
 	out := &ConsensusResult{
-		Completed: res.Completed,
-		TimeSteps: int64(res.CompletedAt),
-		Messages:  res.Messages,
-		Bytes:     res.Bytes,
-		Crashes:   res.Crashes,
-		Inputs:    inputs,
+		Completed:    res.Completed,
+		TimeSteps:    int64(res.CompletedAt),
+		Messages:     res.Messages,
+		Bytes:        res.Bytes,
+		Crashes:      res.Crashes,
+		Inputs:       inputs,
+		OffEdgeDrops: res.OffEdgeDrops,
 	}
 	for q := 0; q < cfg.N; q++ {
 		cn := nodes[q].(*consensus.Node)

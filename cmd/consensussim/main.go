@@ -34,6 +34,9 @@ func run(args []string, out io.Writer) error {
 		adv   = fs.String("adversary", repro.AdversaryStandard, "adversary preset")
 		seed  = fs.Int64("seed", 1, "random seed")
 		local = fs.Bool("localcoin", false, "use Ben-Or local coins instead of the common coin")
+		topo  = fs.String("topology", "", "communication graph family (empty = complete; see gossipsim -topology)")
+		tp1   = fs.Float64("topo-param", 0, "topology parameter (0 = family default)")
+		tp2   = fs.Float64("topo-param2", 0, "second topology parameter (0 = default)")
 		runs  = fs.Int("runs", 1, "number of seeds to run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -41,14 +44,17 @@ func run(args []string, out io.Writer) error {
 	}
 	for i := 0; i < *runs; i++ {
 		res, err := repro.RunConsensus(repro.ConsensusConfig{
-			Transport: *tr,
-			N:         *n,
-			F:         *f,
-			D:         *d,
-			Delta:     *delta,
-			Adversary: *adv,
-			Seed:      *seed + int64(i),
-			LocalCoin: *local,
+			Transport:      *tr,
+			N:              *n,
+			F:              *f,
+			D:              *d,
+			Delta:          *delta,
+			Adversary:      *adv,
+			Seed:           *seed + int64(i),
+			LocalCoin:      *local,
+			Topology:       *topo,
+			TopologyParam:  *tp1,
+			TopologyParam2: *tp2,
 		})
 		if err != nil {
 			return err

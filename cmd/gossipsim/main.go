@@ -33,6 +33,9 @@ func run(args []string, out io.Writer) error {
 		adv   = fs.String("adversary", repro.AdversaryStandard, "adversary preset: benign|standard|crashstorm|maxdelay|staggered")
 		seed  = fs.Int64("seed", 1, "random seed")
 		eps   = fs.Float64("epsilon", 0, "sears fan-out exponent (0 = default 0.5)")
+		topo  = fs.String("topology", "", "communication graph: complete|ring|torus|random-regular|erdos-renyi|watts-strogatz|barabasi-albert (empty = complete; sparse families can be disconnected by crashes — pair with -f 0 for pure-topology runs)")
+		tp1   = fs.Float64("topo-param", 0, "topology parameter (degree/p/k/m/rows; 0 = family default)")
+		tp2   = fs.Float64("topo-param2", 0, "second topology parameter (watts-strogatz β; 0 = default)")
 		runs  = fs.Int("runs", 1, "number of seeds to run (seed, seed+1, ...)")
 		verbt = fs.Bool("rumors", false, "print per-process rumor counts")
 		tline = fs.Bool("timeline", false, "render an ASCII space-time diagram (small n)")
@@ -42,24 +45,40 @@ func run(args []string, out io.Writer) error {
 	}
 	for i := 0; i < *runs; i++ {
 		cfg := repro.GossipConfig{
-			Protocol:  *proto,
-			N:         *n,
-			F:         *f,
-			D:         *d,
-			Delta:     *delta,
-			Adversary: *adv,
-			Seed:      *seed + int64(i),
+			Protocol:       *proto,
+			N:              *n,
+			F:              *f,
+			D:              *d,
+			Delta:          *delta,
+			Adversary:      *adv,
+			Seed:           *seed + int64(i),
+			Topology:       *topo,
+			TopologyParam:  *tp1,
+			TopologyParam2: *tp2,
 		}
 		cfg.Tuning.Epsilon = *eps
 		cfg.Timeline = *tline
+		topoTag := ""
+		if *topo != "" {
+			topoTag = " topology=" + *topo
+		}
+		// Header first, so diagnostics of a failed run attach to it.
+		fmt.Fprintf(out, "proto=%s n=%d f=%d d=%d δ=%d adversary=%s%s seed=%d\n",
+			*proto, *n, *f, *d, *delta, *adv, topoTag, *seed+int64(i))
 		res, err := repro.RunGossip(cfg)
 		if err != nil {
+			// A failed run still carries diagnostics (e.g. off-edge drops
+			// explaining why a topology-unaware protocol went nowhere).
+			if res != nil && res.OffEdgeDrops > 0 {
+				fmt.Fprintf(out, "  off-edge drops=%d\n", res.OffEdgeDrops)
+			}
 			return err
 		}
-		fmt.Fprintf(out, "proto=%s n=%d f=%d d=%d δ=%d adversary=%s seed=%d\n",
-			*proto, *n, *f, *d, *delta, *adv, *seed+int64(i))
 		fmt.Fprintf(out, "  completed=%v time=%d steps messages=%d bytes=%d crashes=%d\n",
 			res.Completed, res.TimeSteps, res.Messages, res.Bytes, res.Crashes)
+		if res.OffEdgeDrops > 0 {
+			fmt.Fprintf(out, "  off-edge drops=%d\n", res.OffEdgeDrops)
+		}
 		if *verbt {
 			for p, rs := range res.Rumors {
 				fmt.Fprintf(out, "  process %3d: %d rumors\n", p, len(rs))

@@ -10,6 +10,8 @@
 //	tables -exp crossover       # ears/trivial message crossover
 //	tables -exp stages          # ears §3.2 stage milestones
 //	tables -exp latency         # per-rumor dissemination latency
+//	tables -exp topology        # gossip across graph families
+//	tables -exp npsweep         # ears on G(n, c·ln n/n) density sweep
 //	tables -exp ablations       # design-choice sweeps
 //	tables -exp all -full       # everything, at the EXPERIMENTS.md scale
 //	tables -exp table1 -csv out # additionally write out/<name>.csv
@@ -41,7 +43,7 @@ type tabler interface {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|ablations|all")
+		exp    = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|topology|npsweep|ablations|all")
 		full   = fs.Bool("full", false, "full scale (EXPERIMENTS.md configuration; slower)")
 		d      = fs.Int("d", 2, "max message delay for the tables")
 		delta  = fs.Int("delta", 2, "max scheduling gap for the tables")
@@ -90,6 +92,8 @@ func run(args []string, out io.Writer) error {
 		{"crossover", func() (tabler, error) { return experiments.Crossover(scale, *seed) }},
 		{"stages", func() (tabler, error) { return experiments.EarsStages(scale, *seed) }},
 		{"latency", func() (tabler, error) { return experiments.RumorLatencyTables(scale, *seed) }},
+		{"topology", func() (tabler, error) { return experiments.TopologySweep(scale, *seed) }},
+		{"npsweep", func() (tabler, error) { return experiments.NPSweep(scale, *seed) }},
 	}
 	for _, j := range jobs {
 		if !want(j.name) {

@@ -22,7 +22,14 @@
 //     against a chosen protocol, witnessing the paper's dichotomy: either
 //     Ω(n+f²) messages or Ω(f·(d+δ)) time.
 //
-// Deeper extension points (custom protocols, adversaries, tracers) are
-// exposed through type aliases into the internal packages; see Protocol,
-// Adversary and Tracer.
+// Every run accepts a communication topology (GossipConfig.Topology,
+// ConsensusConfig.Topology, the Topo* constants): the default is the
+// paper's complete graph — reproducing the original model and its results
+// exactly — while the generated families (ring, torus, random-regular,
+// erdos-renyi, watts-strogatz, barabasi-albert) restrict every protocol to
+// neighborhood communication over a seeded, connected, CSR-backed graph.
+//
+// Deeper extension points (custom protocols, adversaries, tracers,
+// graphs) are exposed through type aliases into the internal packages;
+// see Protocol, Adversary, Tracer and Graph.
 package repro

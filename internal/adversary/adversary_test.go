@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // fakeView is a minimal sim.View for schedule/crash tests.
@@ -37,6 +38,7 @@ func (v *fakeView) AliveCount() int {
 func (v *fakeView) Node(p sim.ProcID) sim.Node    { return nil }
 func (v *fakeView) MessagesSent() int64           { return 0 }
 func (v *fakeView) StepsTaken(p sim.ProcID) int64 { return 0 }
+func (v *fakeView) Graph() topology.Graph         { return nil }
 
 func TestEveryStepSchedulesAll(t *testing.T) {
 	v := newFakeView(7)

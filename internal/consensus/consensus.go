@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Params configures a consensus instance.
@@ -112,6 +113,10 @@ type Node struct {
 
 	factory transportFactory
 	r       *rng.RNG
+	// probe draws catch-up targets: uniform on [n] on the clique, uniform
+	// over the node's neighborhood on an explicit topology (a probe to a
+	// non-neighbor would be dropped by the world and help nobody).
+	probe topology.Sampler
 
 	// Position: sub ∈ {1,2,3} within get-core #len(outputs).
 	sub     int
@@ -193,6 +198,7 @@ func NewNode(id sim.ProcID, input uint8, p Params, r *rng.RNG, coin Coin) (*Node
 		par:     p,
 		factory: factory,
 		r:       r,
+		probe:   topology.NewSampler(int(id), p.N, p.Gossip.Graph),
 		est:     input,
 	}
 	n.hist = &History{}
@@ -382,8 +388,9 @@ func (n *Node) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 	if !sent && n.allIdle() {
 		n.idleSteps++
 		if n.idleSteps%n.par.ProbeEvery == 0 {
-			q := sim.ProcID(n.r.Intn(n.n))
-			out.Send(q, &Payload{Idx: -1, Probe: true, Hist: n.hist})
+			if q, ok := n.probe.One(n.r); ok {
+				out.Send(sim.ProcID(q), &Payload{Idx: -1, Probe: true, Hist: n.hist})
+			}
 		}
 	} else {
 		n.idleSteps = 0

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // EARS is the paper's Epidemic Asynchronous Rumor Spreading protocol
@@ -30,6 +31,7 @@ func (EARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		Tracker:       NewTracker(p.N, id, NoValue, p.WithVals),
 		id:            id,
 		n:             p.N,
+		peers:         p.sampler(int(id)),
 		inf:           newInformedList(p.N),
 		shutdownSteps: p.shutdownThreshold(),
 		fanout:        1,
@@ -48,6 +50,11 @@ type earsNode struct {
 	Tracker
 	id sim.ProcID
 	n  int
+
+	// peers draws transmission targets: uniform on [n] in the paper's
+	// complete-graph model, uniform over the node's neighborhood when a
+	// topology is configured.
+	peers topology.Sampler
 
 	inf *informedList
 
@@ -104,6 +111,10 @@ func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		return // asleep (line 15): receive-only until L(p) reopens
 	}
 
+	if e.peers.Degree() == 0 {
+		return // isolated vertex (degenerate graph): nothing to transmit to
+	}
+
 	// Epidemic transmission mode (lines 16–21): snapshot first — the
 	// pseudocode sends ⟨V(p), I(p)⟩ before recording the new pairs.
 	payload := &GossipPayload{
@@ -111,12 +122,15 @@ func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		Informed: informedSnapshot{m: e.inf.m.Snapshot()},
 	}
 	if e.fanout <= 1 {
-		q := sim.ProcID(e.r.Intn(e.n)) // uniform on [n], self included
-		out.Send(q, payload)
-		e.inf.markSent(int(q), e.rum.Set)
+		// Uniform on [n] (self included) on the clique; uniform over the
+		// neighborhood on an explicit topology.
+		if q, ok := e.peers.One(e.r); ok {
+			out.Send(sim.ProcID(q), payload)
+			e.inf.markSent(q, e.rum.Set)
+		}
 		return
 	}
-	for _, q := range e.r.Sample(e.n, e.fanout) {
+	for _, q := range e.peers.K(e.fanout, e.r) {
 		out.Send(sim.ProcID(q), payload)
 		e.inf.markSent(q, e.rum.Set)
 	}
@@ -124,8 +138,14 @@ func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 
 // Quiescent implements sim.Node: asleep after the shut-down phase. Any new
 // rumor or obligation arrives in a message, which keeps the world awake, so
-// this predicate is stable while no messages are in flight.
+// this predicate is stable while no messages are in flight. An isolated
+// vertex is immediately quiescent: it can never transmit, so its
+// informed-list obligations are unfillable and waiting on them would spin
+// the world to timeout.
 func (e *earsNode) Quiescent() bool {
+	if e.peers.Degree() == 0 {
+		return true
+	}
 	return e.inf.covered() && e.sleepCnt > e.shutdownSteps
 }
 
@@ -135,6 +155,7 @@ func (e *earsNode) CloneNode() sim.Node {
 		Tracker:       e.CloneTracker(),
 		id:            e.id,
 		n:             e.n,
+		peers:         e.peers,
 		inf:           e.inf.clone(),
 		sleepCnt:      e.sleepCnt,
 		shutdownSteps: e.shutdownSteps,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Naive is the strawman the paper's introduction warns about: epidemic
@@ -43,6 +44,7 @@ func (Naive) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
 		id:      id,
 		n:       p.N,
+		peers:   p.sampler(int(id)),
 		reps:    reps,
 		r:       r,
 	}
@@ -56,11 +58,12 @@ func (Naive) Evaluator(p Params) sim.Evaluator {
 
 type naiveNode struct {
 	Tracker
-	id   sim.ProcID
-	n    int
-	reps int
-	step int
-	r    *rng.RNG
+	id    sim.ProcID
+	n     int
+	peers topology.Sampler
+	reps  int
+	step  int
+	r     *rng.RNG
 }
 
 var (
@@ -85,7 +88,9 @@ func (nn *naiveNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		return
 	}
 	nn.step++
-	out.Send(sim.ProcID(nn.r.Intn(nn.n)), &GossipPayload{Rumors: nn.Rumors().Snapshot()})
+	if q, ok := nn.peers.One(nn.r); ok {
+		out.Send(sim.ProcID(q), &GossipPayload{Rumors: nn.Rumors().Snapshot()})
+	}
 }
 
 // Quiescent implements sim.Node.
@@ -97,6 +102,7 @@ func (nn *naiveNode) CloneNode() sim.Node {
 		Tracker: nn.CloneTracker(),
 		id:      nn.id,
 		n:       nn.n,
+		peers:   nn.peers,
 		reps:    nn.reps,
 		step:    nn.step,
 		r:       nn.r.Clone(),

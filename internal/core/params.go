@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/topology"
 )
 
 // Params carries the protocol tuning knobs. The zero value plus N (and F)
@@ -36,6 +38,13 @@ type Params struct {
 
 	// WithVals makes rumors carry one-byte values (used by consensus).
 	WithVals bool
+
+	// Graph is the communication topology the protocol samples targets
+	// from. Nil preserves the paper's model exactly: targets drawn
+	// "uniform on [n]" (self included) as in Figure 2. A non-nil graph
+	// restricts every send to the sender's neighborhood; pass the same
+	// graph to sim.Config so the world enforces it.
+	Graph topology.Graph
 }
 
 // WithDefaults returns a copy of p with zero fields replaced by defaults.
@@ -80,8 +89,15 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: Epsilon = %v, need 0 < ε < 1", p.Epsilon)
 	case p.FanC < 0 || p.TearsA < 0 || p.TearsKappa < 0:
 		return fmt.Errorf("core: negative tuning constant")
+	case p.Graph != nil && p.Graph.N() != p.N:
+		return fmt.Errorf("core: topology has %d vertices for N = %d", p.Graph.N(), p.N)
 	}
 	return nil
+}
+
+// sampler returns the target sampler for process id under p's topology.
+func (p Params) sampler(id int) topology.Sampler {
+	return topology.NewSampler(id, p.N, p.Graph)
 }
 
 // log2 returns log₂(n) rounded up, at least 1; the discrete stand-in for

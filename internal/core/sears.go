@@ -28,6 +28,7 @@ func (SEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
 		id:      id,
 		n:       p.N,
+		peers:   p.sampler(int(id)),
 		inf:     newInformedList(p.N),
 		// "Each process takes only one shut-down step."
 		shutdownSteps: 1,

@@ -54,20 +54,25 @@ func (TEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		kappa:   p.tearsKappa(),
 		r:       r,
 	}
-	// Π1, Π2: include every other process independently with probability
-	// a/n (Figure 3 lines 6–7).
-	prob := float64(a) / float64(n)
-	for q := 0; q < n; q++ {
-		if sim.ProcID(q) == id {
-			continue
-		}
+	// Π1, Π2: include every potential target independently with
+	// probability a/degree (Figure 3 lines 6–7). On the paper's clique the
+	// degree is n, giving the original a/n; on an explicit topology the
+	// audiences are neighborhood subsets with the same expected size a
+	// (clamped to the full neighborhood when a exceeds the degree).
+	ps := p.sampler(int(id))
+	prob := 0.0
+	if deg := ps.Degree(); deg > 0 {
+		prob = float64(a) / float64(deg)
+	}
+	ps.Each(func(q int) bool {
 		if r.Bool(prob) {
 			node.pi1 = append(node.pi1, sim.ProcID(q))
 		}
 		if r.Bool(prob) {
 			node.pi2 = append(node.pi2, sim.ProcID(q))
 		}
-	}
+		return true
+	})
 	return node
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Trivial is the baseline gossip protocol from the paper's introduction:
@@ -24,6 +25,7 @@ func (Trivial) NewNode(id sim.ProcID, p Params, _ *rng.RNG) sim.Node {
 		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
 		id:      id,
 		n:       p.N,
+		peers:   p.sampler(int(id)),
 	}
 }
 
@@ -34,9 +36,10 @@ func (Trivial) Evaluator(p Params) sim.Evaluator {
 
 type trivialNode struct {
 	Tracker
-	id   sim.ProcID
-	n    int
-	sent bool
+	id    sim.ProcID
+	n     int
+	peers topology.Sampler
+	sent  bool
 }
 
 var (
@@ -60,11 +63,10 @@ func (t *trivialNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 	}
 	t.sent = true
 	payload := &GossipPayload{Rumors: t.rum.Snapshot()}
-	for q := 0; q < t.n; q++ {
-		if sim.ProcID(q) != t.id {
-			out.Send(sim.ProcID(q), payload)
-		}
-	}
+	t.peers.Each(func(q int) bool {
+		out.Send(sim.ProcID(q), payload)
+		return true
+	})
 }
 
 // Quiescent implements sim.Node.
@@ -76,6 +78,7 @@ func (t *trivialNode) CloneNode() sim.Node {
 		Tracker: t.CloneTracker(),
 		id:      t.id,
 		n:       t.n,
+		peers:   t.peers,
 		sent:    t.sent,
 	}
 }

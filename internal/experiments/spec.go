@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/syncgossip"
+	"repro/internal/topology"
 )
 
 // GossipSpec describes one gossip measurement point.
@@ -30,6 +31,11 @@ type GossipSpec struct {
 	Preset string
 	Seeds  int
 	Gossip core.Params
+	// Topology selects a communication graph family (empty = complete).
+	// A fresh graph is generated per seed, so measurements aggregate over
+	// graph instances as well as executions.
+	Topology              string
+	TopoParam, TopoParam2 float64
 }
 
 // Measurement aggregates repeated runs of one spec.
@@ -93,6 +99,17 @@ func runGossipOnce(proto core.Protocol, spec GossipSpec, seed int64) (sim.Result
 	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
 	p := spec.Gossip
 	p.N, p.F = spec.N, spec.F
+	if spec.Topology != "" {
+		g, err := topology.Build(topology.Spec{
+			Family: spec.Topology, N: spec.N,
+			Param: spec.TopoParam, Param2: spec.TopoParam2, Seed: seed,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		p.Graph = g
+		cfg.Graph = g
+	}
 	nodes, err := core.NewNodes(proto, p, seed)
 	if err != nil {
 		return sim.Result{}, err

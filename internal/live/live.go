@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Config parameterizes a live run.
@@ -333,6 +334,7 @@ func (v *clusterView) Alive(p sim.ProcID) bool {
 }
 func (v *clusterView) Node(p sim.ProcID) sim.Node { return v.nodes[p] }
 func (v *clusterView) MessagesSent() int64        { return v.messages.Load() }
+func (v *clusterView) Graph() topology.Graph      { return nil }
 func (v *clusterView) StepsTaken(p sim.ProcID) int64 {
 	if int(p) < 0 || int(p) >= v.cfg.N {
 		return 0

@@ -21,6 +21,9 @@ type Metrics struct {
 	Crashes int
 	// LastSendAt is the time of the last message send (0 if none).
 	LastSendAt Time
+	// OffEdgeDrops counts sends dropped because the configured topology
+	// has no edge between sender and target (0 when no topology is set).
+	OffEdgeDrops int64
 }
 
 func newMetrics(n int) *Metrics {
@@ -75,6 +78,8 @@ type Result struct {
 	Bytes int64
 	// Crashes is the number of crashed processes.
 	Crashes int
+	// OffEdgeDrops counts sends dropped for lack of a topology edge.
+	OffEdgeDrops int64
 	// Detail carries the evaluator's violation description when !Completed.
 	Detail string
 }

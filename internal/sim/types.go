@@ -21,7 +21,11 @@
 // quantities bounded by the paper's theorems.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
 
 // Time is a discrete simulation time step.
 type Time int64
@@ -92,6 +96,9 @@ type View interface {
 	// process that never stepped cannot have initiated communication;
 	// evaluators use this for validity checks.
 	StepsTaken(p ProcID) int64
+	// Graph returns the communication topology the world delivers over,
+	// or nil for the unrestricted complete graph of the paper's model.
+	Graph() topology.Graph
 }
 
 // Adversary controls scheduling, delivery delay and crashes. Oblivious
@@ -151,6 +158,13 @@ type Config struct {
 	// MaxSteps aborts the run if the world has not gone quiet. Zero means
 	// DefaultMaxSteps(cfg).
 	MaxSteps Time
+	// Graph restricts communication to a topology: sends along non-edges
+	// are dropped (and counted in Metrics.OffEdgeDrops) instead of
+	// delivered. Nil preserves the paper's model — any process may message
+	// any other. Protocols receive the same graph through their parameters
+	// so they sample targets from their neighborhoods; the world-level
+	// filter is the enforcement backstop, not the steering mechanism.
+	Graph topology.Graph
 	// ValidateDelta makes the world verify the adversary's schedule obeys
 	// the δ bound and return an error when violated (used in tests).
 	ValidateDelta bool
@@ -169,6 +183,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Delta = %d, need Delta >= 1", c.Delta)
 	case c.MaxSteps < 0:
 		return fmt.Errorf("sim: MaxSteps = %d, must be >= 0", c.MaxSteps)
+	case c.Graph != nil && c.Graph.N() != c.N:
+		return fmt.Errorf("sim: topology has %d vertices for N = %d", c.Graph.N(), c.N)
 	}
 	return nil
 }

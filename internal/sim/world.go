@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/topology"
 )
 
 // ErrTimeout is returned (wrapped) by Run when the world fails to go quiet
@@ -118,6 +120,9 @@ func (w *World) StepsTaken(p ProcID) int64 {
 	return w.metrics.Steps[p]
 }
 
+// Graph implements View: the communication topology (nil = complete).
+func (w *World) Graph() topology.Graph { return w.cfg.Graph }
+
 // Metrics exposes the accumulated metrics (read-only use).
 func (w *World) Metrics() *Metrics { return w.metrics }
 
@@ -145,6 +150,7 @@ func (w *World) Run(eval Evaluator) (Result, error) {
 	res.Messages = w.metrics.Messages
 	res.Bytes = w.metrics.Bytes
 	res.Crashes = w.metrics.Crashes
+	res.OffEdgeDrops = w.metrics.OffEdgeDrops
 	if !quiet {
 		res.TimedOut = true
 		res.Detail = "timeout"
@@ -220,6 +226,14 @@ func (w *World) stepProcess(p ProcID) error {
 	w.lastSched[p] = w.now
 	for i := range w.outbox.msgs {
 		m := w.outbox.msgs[i]
+		if w.cfg.Graph != nil && !w.cfg.Graph.HasEdge(int(m.From), int(m.To)) {
+			// Off-edge send: the topology has no link to carry it. Dropped
+			// sends do not count as messages — they never reach the wire —
+			// but are tallied so experiments can detect topology-unaware
+			// protocols (e.g. sync-deterministic's circulant offsets).
+			w.metrics.OffEdgeDrops++
+			continue
+		}
 		delay := w.adv.Delay(w.now, m.From, m.To)
 		if delay < 1 {
 			delay = 1

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Protocol names accepted by ByName.
@@ -108,6 +109,7 @@ func (e Epidemic) NewNode(id sim.ProcID, p core.Params, r *rng.RNG) sim.Node {
 		Tracker: core.NewTracker(p.N, id, core.NoValue, p.WithVals),
 		id:      id,
 		n:       p.N,
+		peers:   topology.NewSampler(int(id), p.N, p.Graph),
 		fanout:  fanout,
 		rounds:  rounds(p, c),
 		r:       r,
@@ -123,6 +125,7 @@ type epidemicNode struct {
 	core.Tracker
 	id     sim.ProcID
 	n      int
+	peers  topology.Sampler
 	fanout int
 	rounds int
 	round  int
@@ -149,7 +152,7 @@ func (e *epidemicNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) 
 	}
 	e.round++
 	payload := &core.GossipPayload{Rumors: e.Rumors().Snapshot()}
-	for _, q := range e.r.Sample(e.n, e.fanout) {
+	for _, q := range e.peers.K(e.fanout, e.r) {
 		out.Send(sim.ProcID(q), payload)
 	}
 }
@@ -163,6 +166,11 @@ func (e *epidemicNode) Quiescent() bool { return e.round >= e.rounds }
 // drawn from a protocol-specified seed (shared by all processes, part of
 // the algorithm, not a random input): each round uses fresh offsets, so
 // over log n rounds the union of the graphs mixes like an expander.
+//
+// Deterministic assumes the complete communication graph: its circulant
+// offsets are part of the protocol specification and ignore any
+// configured topology, so on a sparse topology its off-edge sends are
+// dropped by the world (and counted in Metrics.OffEdgeDrops).
 type Deterministic struct {
 	// Degree is the per-round out-degree (default ⌈log₂ n⌉, computed per n).
 	Degree int
