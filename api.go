@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/syncgossip"
 	"repro/internal/topology"
@@ -417,6 +419,58 @@ func RunLowerBound(cfg LowerBoundConfig) (LowerBoundReport, error) {
 	return lowerbound.Run(proto, core.Params{}, lowerbound.Config{
 		N: cfg.N, F: cfg.F, Seed: cfg.Seed, Trials: cfg.Trials,
 	})
+}
+
+// Batch configures the concurrent batch runners RunGossipMany and
+// RunConsensusMany. The zero value runs on GOMAXPROCS workers without
+// cancellation.
+type Batch struct {
+	// Workers caps concurrency (0 = GOMAXPROCS, 1 = serial). Every run is
+	// seeded from its own config, so results are identical for any value.
+	Workers int
+	// Context, when non-nil, cancels the batch: runs that have not started
+	// when it fires report the context's error.
+	Context context.Context
+}
+
+func (b Batch) context() context.Context {
+	if b.Context != nil {
+		return b.Context
+	}
+	return context.Background()
+}
+
+// RunGossipMany simulates one gossip execution per config, fanned across
+// the batch's worker pool. results[i] and errs[i] correspond to cfgs[i]
+// and are exactly what RunGossip(cfgs[i]) would have returned — simulations
+// share no state, so parallel batches reproduce serial loops bit for bit.
+func RunGossipMany(b Batch, cfgs []GossipConfig) (results []*GossipResult, errs []error) {
+	results, errs, _ = runner.Map(b.context(), len(cfgs),
+		runner.Options{Workers: b.Workers},
+		func(_ context.Context, i int) (*GossipResult, error) {
+			return RunGossip(cfgs[i])
+		})
+	return results, errs
+}
+
+// RunConsensusMany simulates one consensus execution per config, fanned
+// across the batch's worker pool; results and errors are positional, as in
+// RunGossipMany.
+func RunConsensusMany(b Batch, cfgs []ConsensusConfig) (results []*ConsensusResult, errs []error) {
+	results, errs, _ = runner.Map(b.context(), len(cfgs),
+		runner.Options{Workers: b.Workers},
+		func(_ context.Context, i int) (*ConsensusResult, error) {
+			return RunConsensus(cfgs[i])
+		})
+	return results, errs
+}
+
+// DeriveSeed maps (base, label, cell) onto a well-mixed 64-bit seed —
+// the harness's seed policy for sweeps: distinct labels (spec names,
+// benchmark ids) get independent deterministic streams even when they
+// share loop indices.
+func DeriveSeed(base int64, label string, cell int64) int64 {
+	return runner.DeriveSeed(base, label, cell)
 }
 
 // NewRand exposes the library's deterministic RNG for examples that need

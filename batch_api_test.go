@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunGossipManyMatchesSerial(t *testing.T) {
+	cfgs := make([]GossipConfig, 6)
+	for i := range cfgs {
+		cfgs[i] = GossipConfig{Protocol: ProtoEARS, N: 32, F: 8, Seed: int64(i)}
+	}
+	results, errs := RunGossipMany(Batch{Workers: 4}, cfgs)
+	if len(results) != len(cfgs) || len(errs) != len(cfgs) {
+		t.Fatalf("ragged batch: %d results, %d errs", len(results), len(errs))
+	}
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		serial, err := RunGossip(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].TimeSteps != serial.TimeSteps || results[i].Messages != serial.Messages {
+			t.Fatalf("run %d: batch (%d steps, %d msgs) != serial (%d steps, %d msgs)",
+				i, results[i].TimeSteps, results[i].Messages, serial.TimeSteps, serial.Messages)
+		}
+	}
+}
+
+func TestRunConsensusManyMatchesSerial(t *testing.T) {
+	cfgs := make([]ConsensusConfig, 4)
+	for i := range cfgs {
+		cfgs[i] = ConsensusConfig{Transport: TransportTEARS, N: 16, F: 7, Seed: int64(i)}
+	}
+	results, errs := RunConsensusMany(Batch{Workers: 4}, cfgs)
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		serial, err := RunConsensus(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Decision != serial.Decision || results[i].Messages != serial.Messages {
+			t.Fatalf("run %d diverges from serial", i)
+		}
+	}
+}
+
+func TestRunGossipManyPositionalErrors(t *testing.T) {
+	cfgs := []GossipConfig{
+		{Protocol: ProtoEARS, N: 16},
+		{Protocol: "no-such-protocol", N: 16},
+		{Protocol: ProtoEARS, N: 16, Seed: 2},
+	}
+	results, errs := RunGossipMany(Batch{Workers: 2}, cfgs)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good configs errored: %v %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("bad config accepted")
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("good configs missing results")
+	}
+}
+
+func TestRunGossipManyCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: every run is skipped
+	cfgs := make([]GossipConfig, 8)
+	for i := range cfgs {
+		cfgs[i] = GossipConfig{Protocol: ProtoEARS, N: 32, F: 8, Seed: int64(i)}
+	}
+	_, errs := RunGossipMany(Batch{Workers: 2, Context: ctx}, cfgs)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("run %d: got %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestDeriveSeedExported(t *testing.T) {
+	if DeriveSeed(0, "a", 0) == DeriveSeed(0, "b", 0) {
+		t.Fatal("labels do not separate seed streams")
+	}
+	if DeriveSeed(0, "a", 1) != DeriveSeed(0, "a", 1) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}

@@ -26,17 +26,21 @@ import (
 
 	icore "repro/internal/core"
 	irng "repro/internal/rng"
+	irunner "repro/internal/runner"
 	isim "repro/internal/sim"
 )
 
-// benchGossip runs one gossip spec b.N times, cycling seeds.
+// benchGossip runs one gossip spec b.N times over spec-derived seeds:
+// the seed stream is a function of the full spec label (not just the loop
+// index), so distinct benchmarks never replay each other's randomness.
 func benchGossip(b *testing.B, proto string, n, f, d, delta int, adversary string) {
 	b.Helper()
+	label := fmt.Sprintf("gossip/%s/n=%d/f=%d/d=%d/delta=%d/%s", proto, n, f, d, delta, adversary)
 	var steps, msgs float64
 	for i := 0; i < b.N; i++ {
 		res, err := RunGossip(GossipConfig{
 			Protocol: proto, N: n, F: f, D: d, Delta: delta,
-			Adversary: adversary, Seed: int64(i),
+			Adversary: adversary, Seed: irunner.DeriveSeed(0, label, int64(i)),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -48,14 +52,15 @@ func benchGossip(b *testing.B, proto string, n, f, d, delta int, adversary strin
 	b.ReportMetric(msgs/float64(b.N), "msgs/run")
 }
 
-// benchConsensus runs one consensus spec b.N times, cycling seeds.
+// benchConsensus runs one consensus spec b.N times over spec-derived seeds.
 func benchConsensus(b *testing.B, transport string, n, f, d, delta int) {
 	b.Helper()
+	label := fmt.Sprintf("consensus/%s/n=%d/f=%d/d=%d/delta=%d", transport, n, f, d, delta)
 	var steps, msgs float64
 	for i := 0; i < b.N; i++ {
 		res, err := RunConsensus(ConsensusConfig{
 			Transport: transport, N: n, F: f, D: d, Delta: delta,
-			Seed: int64(i),
+			Seed: irunner.DeriveSeed(0, label, int64(i)),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -221,7 +226,7 @@ func BenchmarkFigure1Case2Isolation(b *testing.B) {
 // asynchronous algorithms vs the synchronous optimum at d = δ = 1.
 func BenchmarkCorollary2CostOfAsynchrony(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.CostOfAsynchrony(experiments.Quick, int64(i))
+		res, err := experiments.CostOfAsynchrony(experiments.Env{}, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +282,8 @@ func BenchmarkAblationEarsShutdown(b *testing.B) {
 			var steps, msgs float64
 			for i := 0; i < b.N; i++ {
 				cfg := GossipConfig{
-					Protocol: ProtoEARS, N: 128, F: 32, D: 2, Delta: 2, Seed: int64(i),
+					Protocol: ProtoEARS, N: 128, F: 32, D: 2, Delta: 2,
+					Seed: irunner.DeriveSeed(0, fmt.Sprintf("ablation-shutdown/c=%v", c), int64(i)),
 				}
 				cfg.Tuning.ShutdownC = c
 				res, err := RunGossip(cfg)
@@ -301,7 +307,8 @@ func BenchmarkAblationSearsEpsilon(b *testing.B) {
 			var steps, msgs float64
 			for i := 0; i < b.N; i++ {
 				cfg := GossipConfig{
-					Protocol: ProtoSEARS, N: 128, F: 32, D: 2, Delta: 2, Seed: int64(i),
+					Protocol: ProtoSEARS, N: 128, F: 32, D: 2, Delta: 2,
+					Seed: irunner.DeriveSeed(0, fmt.Sprintf("ablation-epsilon/eps=%v", eps), int64(i)),
 				}
 				cfg.Tuning.Epsilon = eps
 				res, err := RunGossip(cfg)

@@ -1,0 +1,274 @@
+// Command bench runs the pinned gossip benchmark suite and emits the
+// machine-readable artifact behind the repository's performance
+// trajectory: a schema-versioned BENCH_gossip.json with steps/run,
+// msgs/run, wall-clock and allocation figures for every cell. CI
+// regenerates the artifact on every push (quick scale) and nightly (full
+// scale), so a perf or complexity regression shows up as a diff in the
+// artifact rather than an anecdote.
+//
+//	bench -quick -out BENCH_gossip.json   # the CI pinned suite
+//	bench -out BENCH_gossip.json          # full scale (nightly)
+//	bench -check BENCH_gossip.json        # validate an existing artifact
+//
+// The suite is pinned on purpose: clique, ring and Erdős–Rényi topologies
+// at several n, under the standard oblivious adversary, with seeds derived
+// per cell via the runner's seed policy. Changing the suite is a schema
+// event, not a tweak — bump the schema version when cells change meaning.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/topology"
+)
+
+// schemaVersion identifies the artifact layout and the meaning of the
+// pinned cells. Bump it when either changes; CI validates it exactly.
+const schemaVersion = "repro.bench.gossip/v1"
+
+// benchFile is the artifact layout.
+type benchFile struct {
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated"` // RFC 3339 UTC
+	GoVersion string       `json:"go_version"`
+	Scale     string       `json:"scale"` // "quick" or "full"
+	Workers   int          `json:"workers"`
+	Seeds     int          `json:"seeds"`
+	Results   []benchEntry `json:"results"`
+}
+
+// benchEntry is one pinned (protocol, topology, n) cell.
+type benchEntry struct {
+	Name     string `json:"name"`
+	Protocol string `json:"protocol"`
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	F        int    `json:"f"`
+	Seeds    int    `json:"seeds"`
+	Failures int    `json:"failures"`
+	// The paper's two complexity measures, averaged over seeds.
+	StepsPerRun float64 `json:"steps_per_run"`
+	StepsStd    float64 `json:"steps_std"`
+	MsgsPerRun  float64 `json:"msgs_per_run"`
+	MsgsStd     float64 `json:"msgs_std"`
+	BytesPerRun float64 `json:"bytes_per_run"`
+	// Harness cost of the cell: wall clock across the whole seed grid and
+	// allocator pressure per run.
+	WallNs           int64   `json:"wall_ns"`
+	AllocsPerRun     float64 `json:"allocs_per_run"`
+	AllocBytesPerRun float64 `json:"alloc_bytes_per_run"`
+}
+
+// cellSpec pins one suite cell. The f policy mirrors the Table 1 design
+// points: f = n/4 on the clique (tears at its design point just under
+// n/2), f = 0 on sparse families so the axis stays purely topological.
+type cellSpec struct {
+	proto  string
+	family string // "" = complete graph
+	fOf    func(n int) int
+}
+
+// suite returns the pinned cells for a scale.
+func suite() []cellSpec {
+	quarter := func(n int) int { return n / 4 }
+	minority := func(n int) int { return (n - 1) / 2 }
+	zero := func(int) int { return 0 }
+	return []cellSpec{
+		{proto: "trivial", family: "", fOf: quarter},
+		{proto: "ears", family: "", fOf: quarter},
+		{proto: "sears", family: "", fOf: quarter},
+		{proto: "tears", family: "", fOf: minority},
+		{proto: "ears", family: topology.FamilyRing, fOf: zero},
+		{proto: "ears", family: topology.FamilyErdosRenyi, fOf: zero},
+		{proto: "tears", family: topology.FamilyErdosRenyi, fOf: zero},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "CI scale (smaller n sweep and fewer seeds)")
+		outPath = fs.String("out", "BENCH_gossip.json", "artifact path")
+		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full)")
+		workers = fs.Int("workers", 0, "worker pool for each cell's seed grid (0 = GOMAXPROCS)")
+		check   = fs.String("check", "", "validate an existing artifact instead of running the suite")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench: %s is a valid %s artifact\n", *check, schemaVersion)
+		return nil
+	}
+
+	scale := experiments.Full
+	ns := []int{64, 128, 256}
+	cellSeeds := 5
+	if *quick {
+		scale = experiments.Quick
+		ns = []int{32, 64}
+		cellSeeds = 3
+	}
+	if *seeds > 0 {
+		cellSeeds = *seeds
+	}
+
+	file := benchFile{
+		Schema:    schemaVersion,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scale:     scale.String(),
+		Workers:   runner.Workers(*workers),
+		Seeds:     cellSeeds,
+	}
+	for _, cell := range suite() {
+		for _, n := range ns {
+			family := cell.family
+			label := family
+			if label == "" {
+				label = topology.FamilyComplete
+			}
+			f := cell.fOf(n)
+			name := fmt.Sprintf("%s/%s/n=%d", cell.proto, label, n)
+			spec := experiments.GossipSpec{
+				Proto: cell.proto, N: n, F: f, D: 2, Delta: 2,
+				Seeds: cellSeeds, Workers: *workers,
+				Topology: family,
+				// Each cell gets its own derived seed stream, so cells
+				// never share randomness just because they share run
+				// indices.
+				SeedLabel: name,
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			m, err := experiments.MeasureGossip(spec)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			// A cell where every run failed is a suite bug on the clique,
+			// but data on sparse families; either way the artifact records
+			// the failure count instead of aborting the suite.
+			if err != nil && m.Runs == 0 {
+				return fmt.Errorf("cell %s: %w", name, err)
+			}
+			entry := benchEntry{
+				Name:     name,
+				Protocol: cell.proto,
+				Topology: label,
+				N:        n, F: f,
+				Seeds:            cellSeeds,
+				Failures:         m.Failures,
+				StepsPerRun:      m.Time.Mean,
+				StepsStd:         m.Time.Std,
+				MsgsPerRun:       m.Messages.Mean,
+				MsgsStd:          m.Messages.Std,
+				BytesPerRun:      m.Bytes.Mean,
+				WallNs:           wall.Nanoseconds(),
+				AllocsPerRun:     float64(after.Mallocs-before.Mallocs) / float64(cellSeeds),
+				AllocBytesPerRun: float64(after.TotalAlloc-before.TotalAlloc) / float64(cellSeeds),
+			}
+			file.Results = append(file.Results, entry)
+			fmt.Fprintf(out, "%-32s steps/run=%-9.1f msgs/run=%-11.1f wall=%-10s allocs/run=%.0f\n",
+				name, entry.StepsPerRun, entry.MsgsPerRun, wall.Round(time.Millisecond), entry.AllocsPerRun)
+		}
+	}
+
+	if err := validate(&file); err != nil {
+		return fmt.Errorf("generated artifact is invalid: %w", err)
+	}
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: wrote %d cells to %s (%s, %d seeds, %d workers)\n",
+		len(file.Results), *outPath, file.Scale, file.Seeds, file.Workers)
+	return nil
+}
+
+// checkFile parses and validates an artifact on disk.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file benchFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validate(&file); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// validate enforces the schema invariants CI relies on.
+func validate(f *benchFile) error {
+	if f.Schema != schemaVersion {
+		return fmt.Errorf("schema %q, want %q", f.Schema, schemaVersion)
+	}
+	if _, err := time.Parse(time.RFC3339, f.Generated); err != nil {
+		return fmt.Errorf("generated timestamp: %w", err)
+	}
+	if f.Scale != "quick" && f.Scale != "full" {
+		return fmt.Errorf("scale %q, want quick|full", f.Scale)
+	}
+	if f.Workers <= 0 || f.Seeds <= 0 {
+		return fmt.Errorf("workers=%d seeds=%d must be positive", f.Workers, f.Seeds)
+	}
+	if len(f.Results) == 0 {
+		return fmt.Errorf("no results")
+	}
+	seen := map[string]bool{}
+	for i, e := range f.Results {
+		switch {
+		case e.Name == "" || e.Protocol == "" || e.Topology == "":
+			return fmt.Errorf("results[%d]: missing name/protocol/topology", i)
+		case seen[e.Name]:
+			return fmt.Errorf("results[%d]: duplicate cell %q", i, e.Name)
+		case e.N <= 0 || e.F < 0 || e.F >= e.N:
+			return fmt.Errorf("results[%d] %s: bad n=%d f=%d", i, e.Name, e.N, e.F)
+		case e.Seeds <= 0 || e.Failures < 0 || e.Failures > e.Seeds:
+			return fmt.Errorf("results[%d] %s: bad seeds=%d failures=%d", i, e.Name, e.Seeds, e.Failures)
+		case e.WallNs <= 0:
+			return fmt.Errorf("results[%d] %s: bad wall_ns=%d", i, e.Name, e.WallNs)
+		}
+		// Complexity measures must be present (positive) for any cell with
+		// at least one completed run.
+		if e.Failures < e.Seeds && (e.StepsPerRun <= 0 || e.MsgsPerRun <= 0) {
+			return fmt.Errorf("results[%d] %s: degenerate measures steps=%.1f msgs=%.1f",
+				i, e.Name, e.StepsPerRun, e.MsgsPerRun)
+		}
+		if e.StepsPerRun < 0 || e.MsgsPerRun < 0 || e.StepsStd < 0 || e.MsgsStd < 0 ||
+			e.BytesPerRun < 0 || e.AllocsPerRun < 0 || e.AllocBytesPerRun < 0 {
+			return fmt.Errorf("results[%d] %s: negative metric", i, e.Name)
+		}
+		seen[e.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchQuickEmitsValidArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_gossip.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-seeds", "2", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("no summary line:\n%s", buf.String())
+	}
+
+	// The artifact must parse, carry the pinned schema, and pass -check.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file benchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != schemaVersion {
+		t.Fatalf("schema %q", file.Schema)
+	}
+	if file.Scale != "quick" || file.Seeds != 2 {
+		t.Fatalf("scale=%q seeds=%d", file.Scale, file.Seeds)
+	}
+	if want := len(suite()) * 2; len(file.Results) != want { // 2 quick n points
+		t.Fatalf("results: %d, want %d", len(file.Results), want)
+	}
+	// The clique cells must have real measurements.
+	for _, e := range file.Results {
+		if e.Topology == "complete" && (e.StepsPerRun <= 0 || e.MsgsPerRun <= 0 || e.Failures != 0) {
+			t.Fatalf("degenerate clique cell: %+v", e)
+		}
+	}
+	var checkBuf bytes.Buffer
+	if err := run([]string{"-check", path}, &checkBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(checkBuf.String(), "valid") {
+		t.Fatalf("check output:\n%s", checkBuf.String())
+	}
+}
+
+func TestCheckRejectsInvalidArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"bad-schema.json":  `{"schema":"nope/v9","generated":"2026-01-01T00:00:00Z","go_version":"go1.22","scale":"quick","workers":1,"seeds":1,"results":[{"name":"x","protocol":"ears","topology":"complete","n":8,"f":2,"seeds":1,"failures":0,"steps_per_run":1,"msgs_per_run":1,"wall_ns":1}]}`,
+		"no-results.json":  `{"schema":"` + schemaVersion + `","generated":"2026-01-01T00:00:00Z","go_version":"go1.22","scale":"quick","workers":1,"seeds":1,"results":[]}`,
+		"bad-cell.json":    `{"schema":"` + schemaVersion + `","generated":"2026-01-01T00:00:00Z","go_version":"go1.22","scale":"quick","workers":1,"seeds":1,"results":[{"name":"x","protocol":"ears","topology":"complete","n":0,"f":0,"seeds":1,"failures":0,"steps_per_run":1,"msgs_per_run":1,"wall_ns":1}]}`,
+		"not-json.json":    `{`,
+		"unknown-key.json": `{"schema":"` + schemaVersion + `","generated":"2026-01-01T00:00:00Z","go_version":"go1.22","scale":"quick","workers":1,"seeds":1,"surprise":true,"results":[{"name":"x","protocol":"ears","topology":"complete","n":8,"f":2,"seeds":1,"failures":0,"steps_per_run":1,"msgs_per_run":1,"wall_ns":1}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := run([]string{"-check", path}, &buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-check", filepath.Join(t.TempDir(), "absent.json")}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro"
 )
@@ -26,24 +27,34 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("consensussim", flag.ContinueOnError)
 	var (
-		tr    = fs.String("transport", repro.TransportTEARS, "get-core transport: direct|ears|sears|tears")
-		n     = fs.Int("n", 64, "number of processes")
-		f     = fs.Int("f", 31, "crash budget (must be < n/2)")
-		d     = fs.Int("d", 2, "max message delay")
-		delta = fs.Int("delta", 2, "max scheduling gap")
-		adv   = fs.String("adversary", repro.AdversaryStandard, "adversary preset")
-		seed  = fs.Int64("seed", 1, "random seed")
-		local = fs.Bool("localcoin", false, "use Ben-Or local coins instead of the common coin")
-		topo  = fs.String("topology", "", "communication graph family (empty = complete; see gossipsim -topology)")
-		tp1   = fs.Float64("topo-param", 0, "topology parameter (0 = family default)")
-		tp2   = fs.Float64("topo-param2", 0, "second topology parameter (0 = default)")
-		runs  = fs.Int("runs", 1, "number of seeds to run")
+		tr      = fs.String("transport", repro.TransportTEARS, "get-core transport: direct|ears|sears|tears")
+		n       = fs.Int("n", 64, "number of processes")
+		f       = fs.Int("f", 31, "crash budget (must be < n/2)")
+		d       = fs.Int("d", 2, "max message delay")
+		delta   = fs.Int("delta", 2, "max scheduling gap")
+		adv     = fs.String("adversary", repro.AdversaryStandard, "adversary preset")
+		seed    = fs.Int64("seed", 1, "random seed")
+		local   = fs.Bool("localcoin", false, "use Ben-Or local coins instead of the common coin")
+		topo    = fs.String("topology", "", "communication graph family (empty = complete; see gossipsim -topology)")
+		tp1     = fs.Float64("topo-param", 0, "topology parameter (0 = family default)")
+		tp2     = fs.Float64("topo-param2", 0, "second topology parameter (0 = default)")
+		runs    = fs.Int("runs", 0, "deprecated alias for -seeds")
+		seeds   = fs.Int("seeds", 0, "number of seeds to run (default 1)")
+		workers = fs.Int("workers", 0, "run the seeds concurrently on this many workers (0 = GOMAXPROCS; output is identical to serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	for i := 0; i < *runs; i++ {
-		res, err := repro.RunConsensus(repro.ConsensusConfig{
+	count := *seeds
+	if count <= 0 {
+		count = *runs
+	}
+	if count <= 0 {
+		count = 1
+	}
+	cfgs := make([]repro.ConsensusConfig, count)
+	for i := range cfgs {
+		cfgs[i] = repro.ConsensusConfig{
 			Transport:      *tr,
 			N:              *n,
 			F:              *f,
@@ -55,18 +66,36 @@ func run(args []string, out io.Writer) error {
 			Topology:       *topo,
 			TopologyParam:  *tp1,
 			TopologyParam2: *tp2,
-		})
-		if err != nil {
-			return err
 		}
-		ones := 0
-		for _, v := range res.Inputs {
-			ones += int(v)
+	}
+	// Chunked like gossipsim: bounded buffering, seed-ordered output, and
+	// errors stop the sweep within a chunk.
+	for start := 0; start < count; start += chunkSize(*workers) {
+		end := min(start+chunkSize(*workers), count)
+		results, errs := repro.RunConsensusMany(repro.Batch{Workers: *workers}, cfgs[start:end])
+		for j, res := range results {
+			i := start + j
+			if errs[j] != nil {
+				return errs[j]
+			}
+			ones := 0
+			for _, v := range res.Inputs {
+				ones += int(v)
+			}
+			fmt.Fprintf(out, "CR-%s n=%d f=%d d=%d δ=%d seed=%d inputs(1s)=%d/%d\n",
+				*tr, *n, *f, *d, *delta, *seed+int64(i), ones, *n)
+			fmt.Fprintf(out, "  decided=%d rounds=%d time=%d steps messages=%d crashes=%d\n",
+				res.Decision, res.MaxRounds, res.TimeSteps, res.Messages, res.Crashes)
 		}
-		fmt.Fprintf(out, "CR-%s n=%d f=%d d=%d δ=%d seed=%d inputs(1s)=%d/%d\n",
-			*tr, *n, *f, *d, *delta, *seed+int64(i), ones, *n)
-		fmt.Fprintf(out, "  decided=%d rounds=%d time=%d steps messages=%d crashes=%d\n",
-			res.Decision, res.MaxRounds, res.TimeSteps, res.Messages, res.Crashes)
 	}
 	return nil
+}
+
+// chunkSize bounds how many seeds are in flight at once: a few batches
+// per worker keeps the pool busy without buffering the whole sweep.
+func chunkSize(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return max(4*workers, 16)
 }

@@ -43,12 +43,14 @@ type tabler interface {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|topology|npsweep|ablations|all")
-		full   = fs.Bool("full", false, "full scale (EXPERIMENTS.md configuration; slower)")
-		d      = fs.Int("d", 2, "max message delay for the tables")
-		delta  = fs.Int("delta", 2, "max scheduling gap for the tables")
-		seed   = fs.Int64("seed", 1, "random seed")
-		csvDir = fs.String("csv", "", "directory to additionally write <name>.csv files into")
+		exp     = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|topology|npsweep|ablations|all")
+		full    = fs.Bool("full", false, "full scale (EXPERIMENTS.md configuration; slower)")
+		d       = fs.Int("d", 2, "max message delay for the tables")
+		delta   = fs.Int("delta", 2, "max scheduling gap for the tables")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker pool for the (spec × seed) grid (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		seeds   = fs.Int("seeds", 0, "per-point repetition count (0 = scale default)")
+		csvDir  = fs.String("csv", "", "directory to additionally write <name>.csv files into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	if *full {
 		scale = experiments.Full
 	}
+	env := experiments.Env{Scale: scale, Workers: *workers, Seeds: *seeds}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("tables: creating csv dir: %w", err)
@@ -83,17 +86,17 @@ func run(args []string, out io.Writer) error {
 		make func() (tabler, error)
 	}
 	jobs := []job{
-		{"table1", func() (tabler, error) { return experiments.Table1(scale, *d, *delta) }},
-		{"table2", func() (tabler, error) { return experiments.Table2(scale, *d, *delta) }},
-		{"figure1", func() (tabler, error) { return experiments.Figure1(scale, *seed) }},
-		{"coa", func() (tabler, error) { return experiments.CostOfAsynchrony(scale, *seed) }},
-		{"delta", func() (tabler, error) { return experiments.DeltaSweep(scale, *seed) }},
-		{"fsweep", func() (tabler, error) { return experiments.FSweep(scale, *seed) }},
-		{"crossover", func() (tabler, error) { return experiments.Crossover(scale, *seed) }},
-		{"stages", func() (tabler, error) { return experiments.EarsStages(scale, *seed) }},
-		{"latency", func() (tabler, error) { return experiments.RumorLatencyTables(scale, *seed) }},
-		{"topology", func() (tabler, error) { return experiments.TopologySweep(scale, *seed) }},
-		{"npsweep", func() (tabler, error) { return experiments.NPSweep(scale, *seed) }},
+		{"table1", func() (tabler, error) { return experiments.Table1(env, *d, *delta) }},
+		{"table2", func() (tabler, error) { return experiments.Table2(env, *d, *delta) }},
+		{"figure1", func() (tabler, error) { return experiments.Figure1(env, *seed) }},
+		{"coa", func() (tabler, error) { return experiments.CostOfAsynchrony(env, *seed) }},
+		{"delta", func() (tabler, error) { return experiments.DeltaSweep(env, *seed) }},
+		{"fsweep", func() (tabler, error) { return experiments.FSweep(env, *seed) }},
+		{"crossover", func() (tabler, error) { return experiments.Crossover(env, *seed) }},
+		{"stages", func() (tabler, error) { return experiments.EarsStages(env, *seed) }},
+		{"latency", func() (tabler, error) { return experiments.RumorLatencyTables(env, *seed) }},
+		{"topology", func() (tabler, error) { return experiments.TopologySweep(env, *seed) }},
+		{"npsweep", func() (tabler, error) { return experiments.NPSweep(env, *seed) }},
 	}
 	for _, j := range jobs {
 		if !want(j.name) {
@@ -108,7 +111,7 @@ func run(args []string, out io.Writer) error {
 		}
 		// The δ companion of the d sweep.
 		if j.name == "delta" {
-			sres, err := experiments.SchedSweep(scale, *seed)
+			sres, err := experiments.SchedSweep(env, *seed)
 			if err != nil {
 				return err
 			}
@@ -120,9 +123,9 @@ func run(args []string, out io.Writer) error {
 
 	if want("ablations") {
 		abls := []job{
-			{"ablation-shutdown", func() (tabler, error) { return experiments.AblationShutdown(scale, *seed) }},
-			{"ablation-epsilon", func() (tabler, error) { return experiments.AblationEpsilon(scale, *seed) }},
-			{"ablation-coin", func() (tabler, error) { return experiments.AblationCoin(scale, *seed) }},
+			{"ablation-shutdown", func() (tabler, error) { return experiments.AblationShutdown(env, *seed) }},
+			{"ablation-epsilon", func() (tabler, error) { return experiments.AblationEpsilon(env, *seed) }},
+			{"ablation-coin", func() (tabler, error) { return experiments.AblationCoin(env, *seed) }},
 		}
 		for _, j := range abls {
 			res, err := j.make()

@@ -28,6 +28,35 @@ func TestRunUnknownExperimentIsNoop(t *testing.T) {
 	}
 }
 
+func TestWorkersReproduceSerialTables(t *testing.T) {
+	// The engine's user-facing promise: -workers=8 renders byte-identical
+	// tables to a serial run.
+	for _, exp := range []string{"fsweep", "stages"} {
+		var serial, parallel bytes.Buffer
+		if err := run([]string{"-exp", exp, "-workers", "1"}, &serial); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-exp", exp, "-workers", "8"}, &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s diverges across worker counts:\n--- workers=1\n%s\n--- workers=8\n%s",
+				exp, serial.String(), parallel.String())
+		}
+	}
+}
+
+func TestSeedsFlagOverridesRepetitions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fsweep", "-seeds", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// One seed per point: every summary collapses to ± 0.0.
+	if strings.Contains(buf.String(), "± 0.0") == false {
+		t.Fatalf("single-seed run still shows spread:\n%s", buf.String())
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-zzz"}, &buf); err == nil {

@@ -29,6 +29,14 @@
 // erdos-renyi, watts-strogatz, barabasi-albert) restrict every protocol to
 // neighborhood communication over a seeded, connected, CSR-backed graph.
 //
+// For ensembles, RunGossipMany and RunConsensusMany fan batches of
+// configurations across a worker pool (Batch.Workers) with results
+// positionally identical to serial loops; the engine behind them — and
+// behind every experiment sweep and the cmd/bench artifact — is
+// internal/runner, whose contract is that parallel execution is
+// bit-identical to serial. DeriveSeed exposes its seed policy for
+// callers building their own sweeps.
+//
 // Deeper extension points (custom protocols, adversaries, tracers,
 // graphs) are exposed through type aliases into the internal packages;
 // see Protocol, Adversary, Tracer and Graph.

@@ -21,23 +21,32 @@ type DeltaSweepResult struct {
 }
 
 // DeltaSweep runs the d sweep.
-func DeltaSweep(scale Scale, seed int64) (*DeltaSweepResult, error) {
+func DeltaSweep(env Env, seed int64) (*DeltaSweepResult, error) {
 	n := 128
 	ds := []int{1, 2, 4, 8, 16}
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 		ds = []int{1, 4, 8}
 	}
 	f := n / 4
 	res := &DeltaSweepResult{Ds: ds, Series: map[string][]float64{}, N: n, F: f}
-	for _, proto := range []string{"ears", "sears", "tears"} {
+	protos := []string{"ears", "sears", "tears"}
+	var specs []GossipSpec
+	for _, proto := range protos {
 		for _, d := range ds {
-			spec := GossipSpec{
+			specs = append(specs, GossipSpec{
 				Proto: proto, N: n, F: f,
 				D: sim.Time(d), Delta: 1,
-				Preset: adversary.PresetMaxDelay, Seeds: scale.seeds(),
-			}
-			m, err := MeasureGossip(spec)
+				Preset: adversary.PresetMaxDelay, Seeds: env.seeds(),
+			})
+		}
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	cell := 0
+	for _, proto := range protos {
+		for _, d := range ds {
+			m, err := ms[cell], errs[cell]
+			cell++
 			if err != nil {
 				return nil, fmt.Errorf("delta sweep %s d=%d: %w", proto, d, err)
 			}
@@ -86,25 +95,28 @@ type ShutdownAblationResult struct {
 }
 
 // AblationShutdown runs the ShutdownC sweep for ears.
-func AblationShutdown(scale Scale, seed int64) (*ShutdownAblationResult, error) {
+func AblationShutdown(env Env, seed int64) (*ShutdownAblationResult, error) {
 	n := 128
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 	}
 	f := n / 4
 	res := &ShutdownAblationResult{Cs: []float64{0.5, 1, 2, 6, 12}, N: n, F: f}
-	for _, c := range res.Cs {
-		spec := GossipSpec{
+	specs := make([]GossipSpec, len(res.Cs))
+	for i, c := range res.Cs {
+		specs[i] = GossipSpec{
 			Proto: "ears", N: n, F: f, D: 2, Delta: 2,
-			Preset: adversary.PresetStandard, Seeds: scale.seeds(),
+			Preset: adversary.PresetStandard, Seeds: env.seeds(),
 			Gossip: core.Params{ShutdownC: c},
 		}
-		m, err := MeasureGossip(spec)
-		if err != nil {
-			return nil, fmt.Errorf("shutdown ablation c=%v: %w", c, err)
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	for i, c := range res.Cs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shutdown ablation c=%v: %w", c, errs[i])
 		}
-		res.Time = append(res.Time, m.Time)
-		res.Messages = append(res.Messages, m.Messages)
+		res.Time = append(res.Time, ms[i].Time)
+		res.Messages = append(res.Messages, ms[i].Messages)
 	}
 	return res, nil
 }
@@ -131,25 +143,28 @@ type EpsilonAblationResult struct {
 }
 
 // AblationEpsilon runs the sears ε sweep.
-func AblationEpsilon(scale Scale, seed int64) (*EpsilonAblationResult, error) {
+func AblationEpsilon(env Env, seed int64) (*EpsilonAblationResult, error) {
 	n := 128
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 	}
 	f := n / 4
 	res := &EpsilonAblationResult{Epsilons: []float64{0.25, 0.4, 0.5, 0.75}, N: n, F: f}
-	for _, eps := range res.Epsilons {
-		spec := GossipSpec{
+	specs := make([]GossipSpec, len(res.Epsilons))
+	for i, eps := range res.Epsilons {
+		specs[i] = GossipSpec{
 			Proto: "sears", N: n, F: f, D: 2, Delta: 2,
-			Preset: adversary.PresetStandard, Seeds: scale.seeds(),
+			Preset: adversary.PresetStandard, Seeds: env.seeds(),
 			Gossip: core.Params{Epsilon: eps},
 		}
-		m, err := MeasureGossip(spec)
-		if err != nil {
-			return nil, fmt.Errorf("epsilon ablation ε=%v: %w", eps, err)
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	for i, eps := range res.Epsilons {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("epsilon ablation ε=%v: %w", eps, errs[i])
 		}
-		res.Time = append(res.Time, m.Time)
-		res.Messages = append(res.Messages, m.Messages)
+		res.Time = append(res.Time, ms[i].Time)
+		res.Messages = append(res.Messages, ms[i].Messages)
 	}
 	return res, nil
 }
@@ -181,30 +196,33 @@ type CoinAblationResult struct {
 // pathology. The comparison stays meaningful (and bounded) away from that
 // cliff; the cliff itself is documented by BenchmarkAblationCoin's
 // timeout-rate metric.
-func AblationCoin(scale Scale, seed int64) (*CoinAblationResult, error) {
+func AblationCoin(env Env, seed int64) (*CoinAblationResult, error) {
 	n := 32
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 16
 	}
 	f := n / 4
 	res := &CoinAblationResult{Coins: []string{"common", "local"}, N: n, F: f}
-	for _, coin := range res.Coins {
-		spec := ConsensusSpec{
+	specs := make([]ConsensusSpec, len(res.Coins))
+	for i, coin := range res.Coins {
+		specs[i] = ConsensusSpec{
 			Transport: consensus.TransportDirect, N: n, F: f,
 			D: 2, Delta: 2,
-			Preset: adversary.PresetStandard, Seeds: scale.seeds() + 2,
+			Preset: adversary.PresetStandard, Seeds: env.seeds() + 2,
 			LocalCoin: coin == "local",
 			// A perfect 0/1 split denies the first round a majority, so
 			// every undecided process reaches the coin — the case where
 			// the coin flavors actually differ.
 			SplitInputs: true,
 		}
-		m, err := MeasureConsensus(spec)
-		if err != nil {
-			return nil, fmt.Errorf("coin ablation %s: %w", coin, err)
+	}
+	ms, errs := measureConsensusGrid(specs, env.Workers)
+	for i, coin := range res.Coins {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("coin ablation %s: %w", coin, errs[i])
 		}
-		res.Time = append(res.Time, m.Time)
-		res.Messages = append(res.Messages, m.Messages)
+		res.Time = append(res.Time, ms[i].Time)
+		res.Messages = append(res.Messages, ms[i].Messages)
 	}
 	return res, nil
 }

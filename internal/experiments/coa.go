@@ -36,30 +36,35 @@ type CoAResult struct {
 // messages. The measured ratios witness the corollary's disjunction
 // qualitatively: at f = Θ(n), asynchronous gossip pays a Θ(f) time factor
 // or a Θ(1+f²/n) message factor over the synchronous optimum.
-func CostOfAsynchrony(scale Scale, seed int64) (*CoAResult, error) {
+func CostOfAsynchrony(env Env, seed int64) (*CoAResult, error) {
 	n := 256
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 128
 	}
 	f := n / 4
-	seeds := scale.seeds()
+	seeds := env.seeds()
 
-	syncSpec := GossipSpec{
+	// One grid: the synchronous baseline plus every asynchronous protocol.
+	asyncProtos := []string{"trivial", "ears", "sears", "tears"}
+	specs := []GossipSpec{{
 		Proto: "sync-epidemic", N: n, F: f, D: 1, Delta: 1,
 		Preset: adversary.PresetStandard, Seeds: seeds,
-	}
-	syncM, err := MeasureGossip(syncSpec)
-	if err != nil {
-		return nil, fmt.Errorf("coa sync baseline: %w", err)
-	}
-	res := &CoAResult{SyncTime: syncM.Time, SyncMsgs: syncM.Messages, SyncProto: "sync-epidemic"}
-
-	for _, proto := range []string{"trivial", "ears", "sears", "tears"} {
-		spec := GossipSpec{
+	}}
+	for _, proto := range asyncProtos {
+		specs = append(specs, GossipSpec{
 			Proto: proto, N: n, F: f, D: sim.Time(1), Delta: sim.Time(1),
 			Preset: adversary.PresetStandard, Seeds: seeds,
-		}
-		m, err := MeasureGossip(spec)
+		})
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	if errs[0] != nil {
+		return nil, fmt.Errorf("coa sync baseline: %w", errs[0])
+	}
+	syncM := ms[0]
+	res := &CoAResult{SyncTime: syncM.Time, SyncMsgs: syncM.Messages, SyncProto: "sync-epidemic"}
+
+	for i, proto := range asyncProtos {
+		m, err := ms[i+1], errs[i+1]
 		if err != nil {
 			return nil, fmt.Errorf("coa %s: %w", proto, err)
 		}

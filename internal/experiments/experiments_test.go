@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,6 +18,37 @@ func TestMeasureGossipBasic(t *testing.T) {
 	}
 	if m.Messages.Mean <= 0 || m.Time.Mean <= 0 {
 		t.Fatalf("degenerate measurement: %+v", m)
+	}
+}
+
+func TestMeasureGossipSeedLabel(t *testing.T) {
+	base := GossipSpec{Proto: "ears", N: 32, F: 8, D: 2, Delta: 2, Seeds: 3}
+	legacy, err := MeasureGossip(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := base, base
+	a.SeedLabel, b.SeedLabel = "cell-a", "cell-b"
+	ma, err := MeasureGossip(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := MeasureGossip(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct labels draw from distinct streams, and both differ from the
+	// legacy run-index seeds.
+	if reflect.DeepEqual(ma, mb) || reflect.DeepEqual(ma, legacy) {
+		t.Fatalf("seed labels did not separate streams:\nlegacy: %+v\na: %+v\nb: %+v", legacy, ma, mb)
+	}
+	// The same label is deterministic.
+	ma2, err := MeasureGossip(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ma, ma2) {
+		t.Fatalf("labeled measurement not reproducible:\n%+v\n%+v", ma, ma2)
 	}
 }
 
@@ -42,7 +74,7 @@ func TestTable1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table generation in -short mode")
 	}
-	res, err := Table1(Quick, 2, 2)
+	res, err := Table1(Env{}, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +111,7 @@ func TestTable2Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table generation in -short mode")
 	}
-	res, err := Table2(Quick, 2, 2)
+	res, err := Table2(Env{}, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +125,7 @@ func TestFigure1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure generation in -short mode")
 	}
-	res, err := Figure1(Quick, 1)
+	res, err := Figure1(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +146,7 @@ func TestCostOfAsynchronyQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("coa in -short mode")
 	}
-	res, err := CostOfAsynchrony(Quick, 1)
+	res, err := CostOfAsynchrony(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +160,7 @@ func TestDeltaSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	res, err := DeltaSweep(Quick, 1)
+	res, err := DeltaSweep(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,17 +184,17 @@ func TestAblationsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations in -short mode")
 	}
-	if res, err := AblationShutdown(Quick, 1); err != nil {
+	if res, err := AblationShutdown(Env{}, 1); err != nil {
 		t.Fatal(err)
 	} else if !strings.Contains(res.Render(), "shut-down") {
 		t.Fatal("bad render")
 	}
-	if res, err := AblationEpsilon(Quick, 1); err != nil {
+	if res, err := AblationEpsilon(Env{}, 1); err != nil {
 		t.Fatal(err)
 	} else if len(res.Time) != len(res.Epsilons) {
 		t.Fatal("missing points")
 	}
-	if res, err := AblationCoin(Quick, 1); err != nil {
+	if res, err := AblationCoin(Env{}, 1); err != nil {
 		t.Fatal(err)
 	} else if len(res.Time) != 2 {
 		t.Fatal("missing coins")
@@ -173,7 +205,7 @@ func TestSchedSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	res, err := SchedSweep(Quick, 1)
+	res, err := SchedSweep(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +226,7 @@ func TestFSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	res, err := FSweep(Quick, 1)
+	res, err := FSweep(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +244,7 @@ func TestCrossoverQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
 	}
-	res, err := Crossover(Quick, 1)
+	res, err := Crossover(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +258,7 @@ func TestEarsStagesQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stages in -short mode")
 	}
-	res, err := EarsStages(Quick, 1)
+	res, err := EarsStages(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,18 +274,18 @@ func TestRumorLatencyQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("latency in -short mode")
 	}
-	out, err := RumorLatencyTable(Quick, 1)
+	out, err := RumorLatencyTable(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("\n%s", out)
 	// sears' per-rumor latency must be far below ears' (constant vs
 	// polylog spreading).
-	rEars, err := RumorLatency("ears", Quick, 1)
+	rEars, err := RumorLatency("ears", Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSears, err := RumorLatency("sears", Quick, 1)
+	rSears, err := RumorLatency("sears", Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/lowerbound"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -30,34 +32,48 @@ type Figure1Result struct {
 // protocol and each f in the sweep, the adaptive adversary either inflates
 // messages to Ω(f²) (Case 1) or forces Ω(f(d+δ)) time (Case 2 or a slow
 // start). Witnessed reports whether the constructed execution meets one of
-// the two targets.
-func Figure1(scale Scale, seed int64) (*Figure1Result, error) {
+// the two targets. The (protocol × f) cells run concurrently across
+// env.Workers; rows are collected in grid order.
+func Figure1(env Env, seed int64) (*Figure1Result, error) {
 	n := 256
 	fs := []int{16, 32, 64}
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 128
 		fs = []int{16, 32}
 	}
 	protos := []core.Protocol{core.Trivial{}, core.EARS{}, core.SEARS{}, core.TEARS{}}
-	res := &Figure1Result{}
+	type cellRef struct {
+		proto core.Protocol
+		f     int
+	}
+	var cells []cellRef
 	for _, proto := range protos {
 		for _, f := range fs {
-			rep, err := lowerbound.Run(proto, core.Params{}, lowerbound.Config{
-				N: n, F: f, Seed: seed, Trials: 8,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("figure1 %s f=%d: %w", proto.Name(), f, err)
-			}
-			res.Rows = append(res.Rows, Figure1Row{
-				Proto: proto.Name(), N: n, F: rep.FEffective,
-				Case:          rep.Case,
-				Messages:      rep.TotalMessages,
-				MessageTarget: rep.MessageTarget,
-				Time:          int64(rep.ForcedTime),
-				TimeTarget:    int64(rep.TimeTarget),
-				Witnessed:     rep.Satisfied(),
-			})
+			cells = append(cells, cellRef{proto: proto, f: f})
 		}
+	}
+	reps, errs, _ := runner.Map(context.Background(), len(cells),
+		runner.Options{Workers: env.Workers},
+		func(_ context.Context, c int) (lowerbound.Report, error) {
+			return lowerbound.Run(cells[c].proto, core.Params{}, lowerbound.Config{
+				N: n, F: cells[c].f, Seed: seed, Trials: 8,
+			})
+		})
+	res := &Figure1Result{}
+	for c, ref := range cells {
+		if errs[c] != nil {
+			return nil, fmt.Errorf("figure1 %s f=%d: %w", ref.proto.Name(), ref.f, errs[c])
+		}
+		rep := reps[c]
+		res.Rows = append(res.Rows, Figure1Row{
+			Proto: ref.proto.Name(), N: n, F: rep.FEffective,
+			Case:          rep.Case,
+			Messages:      rep.TotalMessages,
+			MessageTarget: rep.MessageTarget,
+			Time:          int64(rep.ForcedTime),
+			TimeTarget:    int64(rep.TimeTarget),
+			Witnessed:     rep.Satisfied(),
+		})
 	}
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -21,49 +23,61 @@ type RumorLatencyResult struct {
 	PerSeed int
 }
 
-// RumorLatency measures per-rumor spread latencies for a protocol.
-func RumorLatency(proto string, scale Scale, seed int64) (*RumorLatencyResult, error) {
+// RumorLatency measures per-rumor spread latencies for a protocol; the
+// seed grid fans across env.Workers and latencies are collected in seed
+// order.
+func RumorLatency(proto string, env Env, seed int64) (*RumorLatencyResult, error) {
 	p, err := protoByName(proto)
 	if err != nil {
 		return nil, err
 	}
 	n := 128
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 	}
 	f := 0 // failure-free so every rumor must reach every process
 	res := &RumorLatencyResult{Proto: proto, N: n, F: f}
 
-	var lat []float64
-	for s := int64(0); s < int64(scale.seeds()); s++ {
-		cfg := sim.Config{N: n, F: f, D: 2, Delta: 2, Seed: seed + s}
-		params := core.Params{N: n, F: f}
-		nodes, err := core.NewNodes(p, params, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		adv, err := adversary.ByName(adversary.PresetStandard, cfg)
-		if err != nil {
-			return nil, err
-		}
-		w, err := sim.NewWorld(cfg, nodes, adv)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := w.Run(p.Evaluator(params)); err != nil {
-			return nil, fmt.Errorf("latency %s seed %d: %w", proto, cfg.Seed, err)
-		}
-		// Latency of rumor r = max over processes of acquisition time.
-		for r := 0; r < n; r++ {
-			var worst sim.Time
-			for q := 0; q < n; q++ {
-				h := nodes[q].(core.RumorHolder)
-				if at := h.RumorAcquiredAt(sim.ProcID(r)); at > worst {
-					worst = at
-				}
+	perSeed, errs, _ := runner.Map(context.Background(), env.seeds(),
+		runner.Options{Workers: env.Workers},
+		func(_ context.Context, s int) ([]float64, error) {
+			cfg := sim.Config{N: n, F: f, D: 2, Delta: 2, Seed: seed + int64(s)}
+			params := core.Params{N: n, F: f}
+			nodes, err := core.NewNodes(p, params, cfg.Seed)
+			if err != nil {
+				return nil, err
 			}
-			lat = append(lat, float64(worst))
-		}
+			adv, err := adversary.ByName(adversary.PresetStandard, cfg)
+			if err != nil {
+				return nil, err
+			}
+			w, err := sim.NewWorld(cfg, nodes, adv)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := w.Run(p.Evaluator(params)); err != nil {
+				return nil, fmt.Errorf("latency %s seed %d: %w", proto, cfg.Seed, err)
+			}
+			// Latency of rumor r = max over processes of acquisition time.
+			lat := make([]float64, 0, n)
+			for r := 0; r < n; r++ {
+				var worst sim.Time
+				for q := 0; q < n; q++ {
+					h := nodes[q].(core.RumorHolder)
+					if at := h.RumorAcquiredAt(sim.ProcID(r)); at > worst {
+						worst = at
+					}
+				}
+				lat = append(lat, float64(worst))
+			}
+			return lat, nil
+		})
+	if err := runner.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var lat []float64
+	for _, l := range perSeed {
+		lat = append(lat, l...)
 	}
 	res.Latency = stats.Summarize(lat)
 	res.PerSeed = n
@@ -72,12 +86,12 @@ func RumorLatency(proto string, scale Scale, seed int64) (*RumorLatencyResult, e
 
 // RumorLatencyTables runs the latency measurement across protocols and
 // returns the assembled table.
-func RumorLatencyTables(scale Scale, seed int64) (*stats.Table, error) {
+func RumorLatencyTables(env Env, seed int64) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Per-rumor dissemination latency (failure-free, d=2 δ=2; cf. Karp et al. [19])",
 		"protocol", "mean", "median", "max", "n")
 	for _, proto := range []string{"trivial", "ears", "sears"} {
-		res, err := RumorLatency(proto, scale, seed)
+		res, err := RumorLatency(proto, env, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -92,8 +106,8 @@ func RumorLatencyTables(scale Scale, seed int64) (*stats.Table, error) {
 }
 
 // RumorLatencyTable renders RumorLatencyTables as text.
-func RumorLatencyTable(scale Scale, seed int64) (string, error) {
-	t, err := RumorLatencyTables(scale, seed)
+func RumorLatencyTable(env Env, seed int64) (string, error) {
+	t, err := RumorLatencyTables(env, seed)
 	if err != nil {
 		return "", err
 	}

@@ -7,20 +7,47 @@
 //	CostOfAsynchrony — Corollary 2 ratios
 //	Ablation*     — design-choice sweeps (DESIGN.md §6)
 //
-// The same entry points back the cmd/tables CLI and the root bench suite.
+// The same entry points back the cmd/tables CLI, the cmd/bench artifact
+// generator, and the root bench suite. Every entry point takes an Env and
+// fans its (spec × seed) grid across the internal/runner worker pool;
+// results are collected in grid order, so parallel output is bit-identical
+// to a serial run.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/syncgossip"
 	"repro/internal/topology"
 )
+
+// Env carries harness-wide execution settings threaded through every
+// experiment entry point. The zero value is a serviceable default: Quick
+// scale, GOMAXPROCS workers, per-scale seed counts.
+type Env struct {
+	// Scale selects experiment sizes (Quick or Full).
+	Scale Scale
+	// Workers caps the worker pool that the (spec × seed) grid fans across
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical for every value.
+	Workers int
+	// Seeds overrides the per-point repetition count (0 = scale default).
+	Seeds int
+}
+
+// seeds resolves the per-point repetition count.
+func (e Env) seeds() int {
+	if e.Seeds > 0 {
+		return e.Seeds
+	}
+	return e.Scale.seeds()
+}
 
 // GossipSpec describes one gossip measurement point.
 type GossipSpec struct {
@@ -36,6 +63,26 @@ type GossipSpec struct {
 	// graph instances as well as executions.
 	Topology              string
 	TopoParam, TopoParam2 float64
+	// Workers caps the worker pool for this spec's seed grid when the spec
+	// is measured standalone (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// SeedLabel switches the spec's seed policy: empty replays the legacy
+	// run-index seeds 0..Seeds-1 (the paper tables depend on them), while
+	// a non-empty label derives each run's seed via runner.DeriveSeed, so
+	// specs with distinct labels never share a random stream (cmd/bench
+	// labels every suite cell).
+	SeedLabel string
+}
+
+// withDefaults mirrors the historical serial defaults.
+func (s GossipSpec) withDefaults() GossipSpec {
+	if s.Seeds <= 0 {
+		s.Seeds = 3
+	}
+	if s.Preset == "" {
+		s.Preset = adversary.PresetStandard
+	}
+	return s
 }
 
 // Measurement aggregates repeated runs of one spec.
@@ -60,39 +107,113 @@ func protoByName(name string) (core.Protocol, error) {
 
 // MeasureGossip runs the spec over its seeds and aggregates.
 func MeasureGossip(spec GossipSpec) (Measurement, error) {
-	proto, err := protoByName(spec.Proto)
-	if err != nil {
-		return Measurement{}, err
+	ms, errs := measureGossipGrid([]GossipSpec{spec}, spec.Workers)
+	return ms[0], errs[0]
+}
+
+// specSeed resolves the seed policy of one grid cell: legacy run-index
+// seeds for unlabeled specs, runner-derived per-label streams otherwise.
+func specSeed(label string, run int) int64 {
+	if label == "" {
+		return int64(run)
 	}
-	if spec.Seeds <= 0 {
-		spec.Seeds = 3
-	}
-	if spec.Preset == "" {
-		spec.Preset = adversary.PresetStandard
-	}
-	var times, msgs, bytes []float64
-	failures := 0
-	for seed := int64(0); seed < int64(spec.Seeds); seed++ {
-		res, err := runGossipOnce(proto, spec, seed)
-		if err != nil {
-			failures++
+	return runner.DeriveSeed(0, label, int64(run))
+}
+
+// gridJob is one spec's slice of a flattened (spec × seed) measurement
+// grid: how many runs it owns, how to execute one, and how to read the
+// spec kind's time measure out of a result.
+type gridJob struct {
+	seeds int
+	err   error // pre-resolution error (e.g. unknown protocol); skips the runs
+	run   func(seed int64) (sim.Result, error)
+	seed  func(run int) int64
+	// timeOf extracts the time-complexity measure (gossip: quiescence;
+	// consensus: last correct decision).
+	timeOf func(sim.Result) float64
+	// failAll builds the error reported when every run of the job fails.
+	failAll func() error
+}
+
+// runMeasureGrid fans the jobs' flattened run grid across one worker pool
+// and aggregates each job's cells in run order, so every Measurement (and
+// error) is exactly what a serial per-spec loop would have produced.
+func runMeasureGrid(jobs []gridJob, workers int) ([]Measurement, []error) {
+	ms := make([]Measurement, len(jobs))
+	errs := make([]error, len(jobs))
+	type cellRef struct{ job, run int }
+	var cells []cellRef
+	for i, job := range jobs {
+		if job.err != nil {
+			errs[i] = job.err
 			continue
 		}
-		times = append(times, float64(res.TimeComplexity))
-		msgs = append(msgs, float64(res.Messages))
-		bytes = append(bytes, float64(res.Bytes))
+		for r := 0; r < job.seeds; r++ {
+			cells = append(cells, cellRef{job: i, run: r})
+		}
 	}
-	m := Measurement{
-		Time:     stats.Summarize(times),
-		Messages: stats.Summarize(msgs),
-		Bytes:    stats.Summarize(bytes),
-		Runs:     spec.Seeds,
-		Failures: failures,
+
+	results, cellErrs, _ := runner.Map(context.Background(), len(cells),
+		runner.Options{Workers: workers},
+		func(_ context.Context, c int) (sim.Result, error) {
+			job := jobs[cells[c].job]
+			return job.run(job.seed(cells[c].run))
+		})
+
+	cursor := 0
+	for i, job := range jobs {
+		if errs[i] != nil {
+			continue
+		}
+		var times, msgs, bytes []float64
+		failures := 0
+		for r := 0; r < job.seeds; r++ {
+			res, err := results[cursor], cellErrs[cursor]
+			cursor++
+			if err != nil {
+				failures++
+				continue
+			}
+			times = append(times, job.timeOf(res))
+			msgs = append(msgs, float64(res.Messages))
+			bytes = append(bytes, float64(res.Bytes))
+		}
+		ms[i] = Measurement{
+			Time:     stats.Summarize(times),
+			Messages: stats.Summarize(msgs),
+			Bytes:    stats.Summarize(bytes),
+			Runs:     job.seeds,
+			Failures: failures,
+		}
+		if failures == job.seeds {
+			errs[i] = job.failAll()
+		}
 	}
-	if failures == spec.Seeds {
-		return m, fmt.Errorf("experiments: all %d runs of %s failed", spec.Seeds, spec.Proto)
+	return ms, errs
+}
+
+// measureGossipGrid measures many gossip specs on one worker pool.
+func measureGossipGrid(specs []GossipSpec, workers int) ([]Measurement, []error) {
+	jobs := make([]gridJob, len(specs))
+	for i, spec := range specs {
+		spec := spec.withDefaults()
+		// Resolve the protocol up front (serial MeasureGossip fails before
+		// running any seed on an unknown name).
+		proto, err := protoByName(spec.Proto)
+		jobs[i] = gridJob{
+			seeds: spec.Seeds,
+			err:   err,
+			run:   func(seed int64) (sim.Result, error) { return runGossipOnce(proto, spec, seed) },
+			seed:  func(run int) int64 { return specSeed(spec.SeedLabel, run) },
+			timeOf: func(res sim.Result) float64 {
+				return float64(res.TimeComplexity)
+			},
+			failAll: func() error {
+				return fmt.Errorf("experiments: all %d runs of %s failed", spec.Seeds, spec.Proto)
+			},
+		}
 	}
-	return m, nil
+	return runMeasureGrid(jobs, workers)
 }
 
 func runGossipOnce(proto core.Protocol, spec GossipSpec, seed int64) (sim.Result, error) {
@@ -138,40 +259,49 @@ type ConsensusSpec struct {
 	// SplitInputs proposes a perfect 0/1 split instead of random inputs —
 	// the adversarial vote pattern that forces coin rounds.
 	SplitInputs bool
+	// Workers caps the worker pool for this spec's seed grid when the spec
+	// is measured standalone (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// SeedLabel switches the seed policy, as in GossipSpec.
+	SeedLabel string
+}
+
+// withDefaults mirrors the historical serial defaults.
+func (s ConsensusSpec) withDefaults() ConsensusSpec {
+	if s.Seeds <= 0 {
+		s.Seeds = 3
+	}
+	if s.Preset == "" {
+		s.Preset = adversary.PresetStandard
+	}
+	return s
 }
 
 // MeasureConsensus runs the spec over its seeds and aggregates.
 func MeasureConsensus(spec ConsensusSpec) (Measurement, error) {
-	if spec.Seeds <= 0 {
-		spec.Seeds = 3
-	}
-	if spec.Preset == "" {
-		spec.Preset = adversary.PresetStandard
-	}
-	var times, msgs, bytes []float64
-	failures := 0
-	for seed := int64(0); seed < int64(spec.Seeds); seed++ {
-		res, err := runConsensusOnce(spec, seed)
-		if err != nil {
-			failures++
-			continue
+	ms, errs := measureConsensusGrid([]ConsensusSpec{spec}, spec.Workers)
+	return ms[0], errs[0]
+}
+
+// measureConsensusGrid is measureGossipGrid for consensus specs.
+func measureConsensusGrid(specs []ConsensusSpec, workers int) ([]Measurement, []error) {
+	jobs := make([]gridJob, len(specs))
+	for i, spec := range specs {
+		spec := spec.withDefaults()
+		jobs[i] = gridJob{
+			seeds: spec.Seeds,
+			run:   func(seed int64) (sim.Result, error) { return runConsensusOnce(spec, seed) },
+			seed:  func(run int) int64 { return specSeed(spec.SeedLabel, run) },
+			// Consensus "time" is when the last correct process decides.
+			timeOf: func(res sim.Result) float64 {
+				return float64(res.CompletedAt)
+			},
+			failAll: func() error {
+				return fmt.Errorf("experiments: all %d runs of CR-%s failed", spec.Seeds, spec.Transport)
+			},
 		}
-		// Consensus "time" is when the last correct process decides.
-		times = append(times, float64(res.CompletedAt))
-		msgs = append(msgs, float64(res.Messages))
-		bytes = append(bytes, float64(res.Bytes))
 	}
-	m := Measurement{
-		Time:     stats.Summarize(times),
-		Messages: stats.Summarize(msgs),
-		Bytes:    stats.Summarize(bytes),
-		Runs:     spec.Seeds,
-		Failures: failures,
-	}
-	if failures == spec.Seeds {
-		return m, fmt.Errorf("experiments: all %d runs of CR-%s failed", spec.Seeds, spec.Transport)
-	}
-	return m, nil
+	return runMeasureGrid(jobs, workers)
 }
 
 func runConsensusOnce(spec ConsensusSpec, seed int64) (sim.Result, error) {
@@ -214,6 +344,14 @@ const (
 	Quick Scale = iota
 	Full
 )
+
+// String names the scale (used by cmd/bench's artifact).
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
 
 // gossipNs returns the n sweep for gossip scaling fits.
 func (s Scale) gossipNs() []int {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -29,42 +31,58 @@ type EarsStagesResult struct {
 	Messages      stats.Summary
 }
 
-// EarsStages measures the milestone times over several seeds.
-func EarsStages(scale Scale, seed int64) (*EarsStagesResult, error) {
+// EarsStages measures the milestone times over several seeds; the seed
+// grid fans across env.Workers (each cell builds its own world and probe).
+func EarsStages(env Env, seed int64) (*EarsStagesResult, error) {
 	n := 128
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 	}
 	f := n / 4
 	res := &EarsStagesResult{N: n, F: f}
+
+	type sample struct {
+		gathered, firstAsleep, allAsleep, msgs float64
+	}
+	samples, errs, _ := runner.Map(context.Background(), env.seeds(),
+		runner.Options{Workers: env.Workers},
+		func(_ context.Context, s int) (sample, error) {
+			cfg := sim.Config{N: n, F: f, D: 2, Delta: 2, Seed: seed + int64(s)}
+			p := core.Params{N: n, F: f}
+			nodes, err := core.NewNodes(core.EARS{}, p, cfg.Seed)
+			if err != nil {
+				return sample{}, err
+			}
+			adv, err := adversary.ByName(adversary.PresetStandard, cfg)
+			if err != nil {
+				return sample{}, err
+			}
+			w, err := sim.NewWorld(cfg, nodes, adv)
+			if err != nil {
+				return sample{}, err
+			}
+			milestones := &earsMilestones{}
+			w.SetProbe(milestones.probe)
+			runRes, err := w.Run(core.EARS{}.Evaluator(p))
+			if err != nil {
+				return sample{}, fmt.Errorf("stages seed %d: %w", cfg.Seed, err)
+			}
+			return sample{
+				gathered:    float64(milestones.gatheredAt),
+				firstAsleep: float64(milestones.firstAsleepAt),
+				allAsleep:   float64(runRes.QuiesceAt),
+				msgs:        float64(runRes.Messages),
+			}, nil
+		})
+	if err := runner.FirstError(errs); err != nil {
+		return nil, err
+	}
 	var gathered, firstAsleep, allAsleep, msgs []float64
-
-	for s := int64(0); s < int64(scale.seeds()); s++ {
-		cfg := sim.Config{N: n, F: f, D: 2, Delta: 2, Seed: seed + s}
-		p := core.Params{N: n, F: f}
-		nodes, err := core.NewNodes(core.EARS{}, p, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		adv, err := adversary.ByName(adversary.PresetStandard, cfg)
-		if err != nil {
-			return nil, err
-		}
-		w, err := sim.NewWorld(cfg, nodes, adv)
-		if err != nil {
-			return nil, err
-		}
-
-		milestones := &earsMilestones{}
-		w.SetProbe(milestones.probe)
-		runRes, err := w.Run(core.EARS{}.Evaluator(p))
-		if err != nil {
-			return nil, fmt.Errorf("stages seed %d: %w", cfg.Seed, err)
-		}
-		gathered = append(gathered, float64(milestones.gatheredAt))
-		firstAsleep = append(firstAsleep, float64(milestones.firstAsleepAt))
-		allAsleep = append(allAsleep, float64(runRes.QuiesceAt))
-		msgs = append(msgs, float64(runRes.Messages))
+	for _, s := range samples {
+		gathered = append(gathered, s.gathered)
+		firstAsleep = append(firstAsleep, s.firstAsleep)
+		allAsleep = append(allAsleep, s.allAsleep)
+		msgs = append(msgs, s.msgs)
 	}
 	res.GatheredAt = stats.Summarize(gathered)
 	res.FirstAsleepAt = stats.Summarize(firstAsleep)

@@ -22,23 +22,32 @@ type SchedSweepResult struct {
 }
 
 // SchedSweep runs the δ sweep.
-func SchedSweep(scale Scale, seed int64) (*SchedSweepResult, error) {
+func SchedSweep(env Env, seed int64) (*SchedSweepResult, error) {
 	n := 128
 	deltas := []int{1, 2, 4, 8, 16}
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 		deltas = []int{1, 4, 8}
 	}
 	f := n / 4
 	res := &SchedSweepResult{Deltas: deltas, Series: map[string][]float64{}, N: n, F: f}
-	for _, proto := range []string{"ears", "sears", "tears"} {
+	protos := []string{"ears", "sears", "tears"}
+	var specs []GossipSpec
+	for _, proto := range protos {
 		for _, delta := range deltas {
-			spec := GossipSpec{
+			specs = append(specs, GossipSpec{
 				Proto: proto, N: n, F: f,
 				D: 1, Delta: sim.Time(delta),
-				Preset: adversary.PresetStandard, Seeds: scale.seeds(),
-			}
-			m, err := MeasureGossip(spec)
+				Preset: adversary.PresetStandard, Seeds: env.seeds(),
+			})
+		}
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	cell := 0
+	for _, proto := range protos {
+		for _, delta := range deltas {
+			m, err := ms[cell], errs[cell]
+			cell++
 			if err != nil {
 				return nil, fmt.Errorf("sched sweep %s δ=%d: %w", proto, delta, err)
 			}
@@ -97,24 +106,27 @@ type FSweepResult struct {
 // (all crashes at t=0, which realizes the n/(n−f) regime exactly: only
 // n−f processes ever participate, and random targets hit a live process
 // with probability (n−f)/n).
-func FSweep(scale Scale, seed int64) (*FSweepResult, error) {
+func FSweep(env Env, seed int64) (*FSweepResult, error) {
 	n := 128
-	if scale == Quick {
+	if env.Scale == Quick {
 		n = 64
 	}
 	fs := []int{0, n / 4, n / 2, 3 * n / 4, 7 * n / 8}
 	res := &FSweepResult{Fs: fs, N: n}
-	for _, f := range fs {
-		spec := GossipSpec{
+	specs := make([]GossipSpec, len(fs))
+	for i, f := range fs {
+		specs[i] = GossipSpec{
 			Proto: "ears", N: n, F: f, D: 2, Delta: 2,
-			Preset: adversary.PresetCrashStorm, Seeds: scale.seeds(),
+			Preset: adversary.PresetCrashStorm, Seeds: env.seeds(),
 		}
-		m, err := MeasureGossip(spec)
-		if err != nil {
-			return nil, fmt.Errorf("f sweep f=%d: %w", f, err)
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	for i, f := range fs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("f sweep f=%d: %w", f, errs[i])
 		}
-		res.Time = append(res.Time, m.Time)
-		res.Messages = append(res.Messages, m.Messages)
+		res.Time = append(res.Time, ms[i].Time)
+		res.Messages = append(res.Messages, ms[i].Messages)
 		res.SurvivorFactor = append(res.SurvivorFactor, float64(n)/float64(n-f))
 	}
 	return res, nil
@@ -144,20 +156,27 @@ type CrossoverResult struct {
 }
 
 // Crossover runs the comparison sweep.
-func Crossover(scale Scale, seed int64) (*CrossoverResult, error) {
+func Crossover(env Env, seed int64) (*CrossoverResult, error) {
 	ns := []int{32, 64, 128, 256, 512}
-	if scale == Quick {
+	if env.Scale == Quick {
 		ns = []int{32, 64, 128}
 	}
 	res := &CrossoverResult{Ns: ns}
+	var specs []GossipSpec
 	for _, n := range ns {
-		f := n / 4
 		for _, proto := range []string{"trivial", "ears"} {
-			spec := GossipSpec{
-				Proto: proto, N: n, F: f, D: 2, Delta: 2,
-				Preset: adversary.PresetStandard, Seeds: scale.seeds(),
-			}
-			m, err := MeasureGossip(spec)
+			specs = append(specs, GossipSpec{
+				Proto: proto, N: n, F: n / 4, D: 2, Delta: 2,
+				Preset: adversary.PresetStandard, Seeds: env.seeds(),
+			})
+		}
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	cell := 0
+	for _, n := range ns {
+		for _, proto := range []string{"trivial", "ears"} {
+			m, err := ms[cell], errs[cell]
+			cell++
 			if err != nil {
 				return nil, fmt.Errorf("crossover %s n=%d: %w", proto, n, err)
 			}

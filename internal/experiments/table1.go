@@ -53,21 +53,20 @@ var table1Protos = []struct {
 // message complexity at the largest n of the sweep and fits growth
 // exponents across the sweep. Synchronous baselines run with d = δ = 1
 // (which they are entitled to assume); partially synchronous algorithms
-// run at the given d, δ without knowing them.
-func Table1(scale Scale, d, delta int) (*Table1Result, error) {
-	res := &Table1Result{Scale: scale, D: d, Delta: delta}
-	ns := scale.gossipNs()
+// run at the given d, δ without knowing them. The whole (algorithm × n ×
+// seed) grid fans across env.Workers.
+func Table1(env Env, d, delta int) (*Table1Result, error) {
+	res := &Table1Result{Scale: env.Scale, D: d, Delta: delta}
+	ns := env.Scale.gossipNs()
+	var specs []GossipSpec
 	for _, tp := range table1Protos {
-		var nsX, timeY, msgY []float64
-		var last Measurement
-		var lastN, lastF int
 		for _, n := range ns {
 			f := int(tp.fFraction * float64(n))
 			spec := GossipSpec{
 				Proto: tp.name, N: n, F: f,
 				D: sim.Time(d), Delta: sim.Time(delta),
 				Preset: tp.preset,
-				Seeds:  scale.seeds(),
+				Seeds:  env.seeds(),
 			}
 			if tp.isSync {
 				spec.D, spec.Delta = 1, 1
@@ -78,10 +77,22 @@ func Table1(scale Scale, d, delta int) (*Table1Result, error) {
 					spec.Preset = adversary.PresetStandard
 				}
 			}
-			m, err := MeasureGossip(spec)
+			specs = append(specs, spec)
+		}
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	cell := 0
+	for _, tp := range table1Protos {
+		var nsX, timeY, msgY []float64
+		var last Measurement
+		var lastN, lastF int
+		for _, n := range ns {
+			m, err := ms[cell], errs[cell]
+			cell++
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s n=%d: %w", tp.name, n, err)
 			}
+			f := int(tp.fFraction * float64(n))
 			nsX = append(nsX, float64(n))
 			timeY = append(timeY, m.Time.Mean)
 			msgY = append(msgY, m.Messages.Mean)

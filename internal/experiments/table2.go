@@ -45,24 +45,32 @@ var table2Transports = []struct {
 // get-core transport, measured time-to-decision and messages, plus growth
 // exponents over the n sweep. f is just under n/2 (the paper's consensus
 // assumption is a minority of failures).
-func Table2(scale Scale, d, delta int) (*Table2Result, error) {
-	res := &Table2Result{Scale: scale, D: d, Delta: delta}
-	ns := scale.consensusNs()
+func Table2(env Env, d, delta int) (*Table2Result, error) {
+	res := &Table2Result{Scale: env.Scale, D: d, Delta: delta}
+	ns := env.Scale.consensusNs()
+	var specs []ConsensusSpec
+	for _, tt := range table2Transports {
+		for _, n := range ns {
+			specs = append(specs, ConsensusSpec{
+				Transport: tt.kind, N: n, F: (n - 1) / 2,
+				D: sim.Time(d), Delta: sim.Time(delta),
+				Seeds: env.seeds(),
+			})
+		}
+	}
+	ms, errs := measureConsensusGrid(specs, env.Workers)
+	cell := 0
 	for _, tt := range table2Transports {
 		var nsX, timeY, msgY []float64
 		var last Measurement
 		var lastN, lastF int
 		for _, n := range ns {
-			f := (n - 1) / 2
-			spec := ConsensusSpec{
-				Transport: tt.kind, N: n, F: f,
-				D: sim.Time(d), Delta: sim.Time(delta),
-				Seeds: scale.seeds(),
-			}
-			m, err := MeasureConsensus(spec)
+			m, err := ms[cell], errs[cell]
+			cell++
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s n=%d: %w", tt.label, n, err)
 			}
+			f := (n - 1) / 2
 			nsX = append(nsX, float64(n))
 			timeY = append(timeY, m.Time.Mean)
 			msgY = append(msgY, m.Messages.Mean)

@@ -49,35 +49,51 @@ func topoFamilies() []string {
 // graphs stay connected and the measured axis is purely topological (a
 // crash disconnects a ring, which is a different experiment — see the
 // adversary sweeps for the crash axis).
-func TopologySweep(scale Scale, seed int64) (*TopologySweepResult, error) {
+func TopologySweep(env Env, seed int64) (*TopologySweepResult, error) {
 	n := 64
-	if scale == Full {
+	if env.Scale == Full {
 		n = 128
 	}
 	res := &TopologySweepResult{N: n}
+	protos := []string{"ears", "sears", "tears"}
+
+	// Mean degree is averaged over the same per-seed graph instances the
+	// measurements below actually run on (runGossipOnce generates the
+	// graph from the run seed, 0..Seeds-1). Graph generation is cheap next
+	// to the simulations, so it stays serial.
+	degrees := map[string]float64{}
 	for _, family := range topoFamilies() {
-		// Mean degree is averaged over the same per-seed graph instances
-		// the measurements below actually run on (runGossipOnce generates
-		// the graph from the run seed, 0..Seeds-1).
 		meanDeg := float64(n)
 		if family != topology.FamilyComplete {
 			meanDeg = 0
-			for s := int64(0); s < int64(scale.seeds()); s++ {
+			for s := int64(0); s < int64(env.seeds()); s++ {
 				g, err := topology.Build(topology.Spec{Family: family, N: n, Seed: s})
 				if err != nil {
 					return nil, fmt.Errorf("topology sweep %s: %w", family, err)
 				}
 				meanDeg += 2 * float64(g.Edges()) / float64(n)
 			}
-			meanDeg /= float64(scale.seeds())
+			meanDeg /= float64(env.seeds())
 		}
-		for _, proto := range []string{"ears", "sears", "tears"} {
-			spec := GossipSpec{
+		degrees[family] = meanDeg
+	}
+
+	var specs []GossipSpec
+	for _, family := range topoFamilies() {
+		for _, proto := range protos {
+			specs = append(specs, GossipSpec{
 				Proto: proto, N: n, F: 0, D: 2, Delta: 2,
-				Preset: adversary.PresetStandard, Seeds: scale.seeds(),
+				Preset: adversary.PresetStandard, Seeds: env.seeds(),
 				Topology: family,
-			}
-			m, err := MeasureGossip(spec)
+			})
+		}
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	cell := 0
+	for _, family := range topoFamilies() {
+		for _, proto := range protos {
+			m, err := ms[cell], errs[cell]
+			cell++
 			// An all-runs-failed point is data (the protocol's promise does
 			// not hold on that family), not a harness error.
 			if err != nil && !(m.Runs > 0 && m.Failures == m.Runs) {
@@ -86,7 +102,7 @@ func TopologySweep(scale Scale, seed int64) (*TopologySweepResult, error) {
 			res.Points = append(res.Points, topoPoint{
 				Proto:    proto,
 				Family:   family,
-				Degree:   meanDeg,
+				Degree:   degrees[family],
 				M:        m,
 				Complete: float64(m.Runs-m.Failures) / float64(m.Runs),
 			})
@@ -134,32 +150,37 @@ type NPSweepResult struct {
 }
 
 // NPSweep runs the Erdős–Rényi density sweep for ears.
-func NPSweep(scale Scale, seed int64) (*NPSweepResult, error) {
+func NPSweep(env Env, seed int64) (*NPSweepResult, error) {
 	n := 64
 	cs := []float64{1.2, 2, 4, 8}
-	if scale == Full {
+	if env.Scale == Full {
 		n = 256
 		cs = []float64{1.2, 2, 4, 8, 16}
 	}
 	res := &NPSweepResult{N: n, Cs: cs}
 	logn := math.Log(float64(n))
-	for _, c := range cs {
+	ps := make([]float64, len(cs))
+	specs := make([]GossipSpec, len(cs))
+	for i, c := range cs {
 		p := c * logn / float64(n)
 		if p > 1 {
 			p = 1
 		}
-		spec := GossipSpec{
+		ps[i] = p
+		specs[i] = GossipSpec{
 			Proto: "ears", N: n, F: 0, D: 2, Delta: 2,
-			Preset: adversary.PresetStandard, Seeds: scale.seeds(),
+			Preset: adversary.PresetStandard, Seeds: env.seeds(),
 			Topology: topology.FamilyErdosRenyi, TopoParam: p,
 		}
-		m, err := MeasureGossip(spec)
-		if err != nil {
-			return nil, fmt.Errorf("np sweep c=%.1f: %w", c, err)
+	}
+	ms, errs := measureGossipGrid(specs, env.Workers)
+	for i, c := range cs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("np sweep c=%.1f: %w", c, errs[i])
 		}
-		res.MeanDeg = append(res.MeanDeg, p*float64(n))
-		res.Time = append(res.Time, m.Time)
-		res.Messages = append(res.Messages, m.Messages)
+		res.MeanDeg = append(res.MeanDeg, ps[i]*float64(n))
+		res.Time = append(res.Time, ms[i].Time)
+		res.Messages = append(res.Messages, ms[i].Messages)
 	}
 	return res, nil
 }

@@ -27,7 +27,7 @@ func TestTopologySweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep generation in -short mode")
 	}
-	res, err := TopologySweep(Quick, 1)
+	res, err := TopologySweep(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestNPSweepQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep generation in -short mode")
 	}
-	res, err := NPSweep(Quick, 1)
+	res, err := NPSweep(Env{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

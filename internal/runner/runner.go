@@ -1,0 +1,173 @@
+// Package runner is the deterministic worker-pool execution engine behind
+// the experiment harness: it fans an experiment's (spec × seed) grid across
+// a bounded set of goroutines while keeping the output bit-identical to a
+// serial run.
+//
+// The determinism contract is the whole point. Each grid cell is a pure
+// function of its index (every simulation seeds its own RNG from the cell),
+// results are collected into an index-addressed slice, and aggregation
+// happens in index order after the grid drains — so the scheduling order of
+// workers can never leak into a Measurement, a table, or a benchmark
+// artifact. Map with Workers=8 must equal Map with Workers=1, value for
+// value; internal/runner's equivalence tests enforce this under -race.
+//
+// The engine also owns the harness's seed policy: DeriveSeed maps a
+// (base, label, cell) triple onto a well-mixed 64-bit seed, so distinct
+// specs never share a random stream just because they share loop indices.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n when positive, otherwise
+// GOMAXPROCS (the engine is CPU-bound; more workers than cores only adds
+// scheduling noise).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Options configures a grid run.
+type Options struct {
+	// Workers caps concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// OnCell, when non-nil, is called after each cell finishes with the
+	// number of completed cells and the grid size. Calls are serialized
+	// and done is monotone, but cells complete in scheduling-dependent
+	// order (only results are order-stable).
+	OnCell func(done, total int)
+}
+
+// PanicError wraps a panic recovered from a worker cell, preserving the
+// panic value and stack so a crashing spec surfaces as that cell's error
+// instead of killing the whole sweep (or the process).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is carried for callers that
+// want to log it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: cell panicked: %v", e.Value)
+}
+
+// Map runs fn over cells 0..n-1 across the configured workers and returns
+// the results and per-cell errors, both indexed by cell. The output is
+// bit-identical to calling fn serially: result i is exactly fn(i)'s return
+// value regardless of how cells were interleaved.
+//
+// A cell that panics has the panic recovered into a *PanicError in errs[i];
+// remaining cells still run. When ctx is cancelled, no new cells start:
+// cells that never ran get ctx.Err() in their error slot and Map returns
+// ctx.Err(). Cells already in flight finish first, so a cancelled grid
+// holds a subset of real results — each worker observes cancellation
+// independently, so the completed cells need not form a prefix; callers
+// resuming a cancelled grid must check errs cell by cell.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, cell int) (T, error)) ([]T, []error, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs, ctx.Err()
+	}
+	workers := Workers(opts.Workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64 // next cell to claim
+		done     int          // completed cells, guarded by progress
+		progress sync.Mutex   // serializes OnCell and guards done
+		wg       sync.WaitGroup
+	)
+	runCell := func(cell int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[cell] = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+			if opts.OnCell != nil {
+				// The counter increments under the same lock that delivers
+				// the callback, so OnCell observes a monotone done.
+				progress.Lock()
+				done++
+				opts.OnCell(done, n)
+				progress.Unlock()
+			}
+		}()
+		out[cell], errs[cell] = fn(ctx, cell)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				cell := int(next.Add(1)) - 1
+				if cell >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[cell] = err
+					continue
+				}
+				runCell(cell)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs, ctx.Err()
+}
+
+// ForEach is Map for cells that only produce an error.
+func ForEach(ctx context.Context, n int, opts Options, fn func(ctx context.Context, cell int) error) ([]error, error) {
+	_, errs, err := Map(ctx, n, opts, func(ctx context.Context, cell int) (struct{}, error) {
+		return struct{}{}, fn(ctx, cell)
+	})
+	return errs, err
+}
+
+// FirstError returns the lowest-indexed non-nil error of a grid, which is
+// the same error a serial loop that stops on failure would have returned.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed maps (base, label, cell) onto a seed via splitmix64-style
+// finalization over an FNV-1a hash of the label. Distinct labels (spec
+// names, benchmark ids) get independent streams even at equal base and
+// cell, fixing the classic harness bug of every spec replaying seed
+// 0,1,2,…; equal inputs always derive the same seed, so grids stay
+// reproducible.
+func DeriveSeed(base int64, label string, cell int64) int64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnvPrime
+	}
+	h = mix(h ^ mix(uint64(base)))
+	return int64(mix(h ^ uint64(cell)*0x9e3779b97f4a7c15))
+}
+
+// mix is the splitmix64 finalizer (same constants as internal/rng).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

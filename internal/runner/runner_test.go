@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		out, errs, err := Map(context.Background(), 100, Options{Workers: workers},
+			func(_ context.Context, cell int) (int, error) {
+				return cell * cell, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d cell %d: got %d, want %d", workers, i, v, i*i)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d cell %d: unexpected error %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+func TestMapParallelEqualsSerial(t *testing.T) {
+	run := func(workers int) []int {
+		out, _, err := Map(context.Background(), 64, Options{Workers: workers},
+			func(_ context.Context, cell int) (int, error) {
+				// A cell-seeded pseudo-random value: any scheduling leak
+				// would show up as a mismatch between worker counts.
+				return int(DeriveSeed(42, "equivalence", int64(cell)) % 1000), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapPerCellErrors(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	out, errs, err := Map(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, cell int) (int, error) {
+			if cell%3 == 0 {
+				return 0, sentinel
+			}
+			return cell, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if i%3 == 0 {
+			if !errors.Is(errs[i], sentinel) {
+				t.Fatalf("cell %d: got %v, want sentinel", i, errs[i])
+			}
+		} else if errs[i] != nil || out[i] != i {
+			t.Fatalf("cell %d: out=%d err=%v", i, out[i], errs[i])
+		}
+	}
+	if !errors.Is(FirstError(errs), sentinel) {
+		t.Fatalf("FirstError: %v", FirstError(errs))
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	out, errs, err := Map(context.Background(), 8, Options{Workers: 4},
+		func(_ context.Context, cell int) (int, error) {
+			if cell == 3 {
+				panic("boom")
+			}
+			return cell, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(errs[3], &pe) {
+		t.Fatalf("cell 3: got %v, want *PanicError", errs[3])
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not preserved: %+v", pe)
+	}
+	for i := range out {
+		if i != 3 && (errs[i] != nil || out[i] != i) {
+			t.Fatalf("cell %d disturbed by panic: out=%d err=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Serial workers make the cancellation point deterministic: cell 0
+	// cancels, so cells 1..n-1 must all be skipped.
+	out, errs, err := Map(ctx, 20, Options{Workers: 1},
+		func(_ context.Context, cell int) (int, error) {
+			cancel()
+			return cell + 1, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	if errs[0] != nil || out[0] != 1 {
+		t.Fatalf("in-flight cell 0 should finish: out=%d err=%v", out[0], errs[0])
+	}
+	for i := 1; i < 20; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("cell %d: got %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+func TestMapCancellationConcurrent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, errs, err := Map(ctx, 1000, Options{Workers: 4},
+		func(_ context.Context, cell int) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return cell, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map returned %v, want context.Canceled", err)
+	}
+	skipped := 0
+	for _, e := range errs {
+		if errors.Is(e, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation skipped no cells")
+	}
+	if got := int(ran.Load()); got == 1000 {
+		t.Fatal("cancellation did not stop the grid")
+	}
+}
+
+func TestMapProgress(t *testing.T) {
+	var calls int
+	last := 0
+	_, _, err := Map(context.Background(), 25, Options{Workers: 8, OnCell: func(done, total int) {
+		calls++
+		if total != 25 {
+			t.Fatalf("total %d", total)
+		}
+		if done < last { // serialized, monotone
+			t.Fatalf("progress went backwards: %d after %d", done, last)
+		}
+		last = done
+	}}, func(_ context.Context, cell int) (int, error) { return cell, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 || last != 25 {
+		t.Fatalf("progress calls=%d last=%d", calls, last)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var hits atomic.Int64
+	errs, err := ForEach(context.Background(), 16, Options{Workers: 3},
+		func(_ context.Context, cell int) error {
+			hits.Add(1)
+			if cell == 7 {
+				return fmt.Errorf("seven")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 16 {
+		t.Fatalf("ran %d cells", hits.Load())
+	}
+	if errs[7] == nil || FirstError(errs) != errs[7] {
+		t.Fatalf("errs[7]=%v first=%v", errs[7], FirstError(errs))
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0)=%d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3)=%d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5)=%d", got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "ears", 0) != DeriveSeed(1, "ears", 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, label := range []string{"ears", "sears", "tears", "gossip/ears/n=64"} {
+		for cell := int64(0); cell < 64; cell++ {
+			s := DeriveSeed(0, label, cell)
+			key := fmt.Sprintf("%s/%d", label, cell)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+	if DeriveSeed(0, "ears", 1) == DeriveSeed(1, "ears", 1) {
+		t.Fatal("base does not influence derived seed")
+	}
+}
