@@ -448,7 +448,12 @@ func RunGossipMany(b Batch, cfgs []GossipConfig) (results []*GossipResult, errs 
 	results, errs, _ = runner.Map(b.context(), len(cfgs),
 		runner.Options{Workers: b.Workers},
 		func(_ context.Context, i int) (*GossipResult, error) {
-			return RunGossip(cfgs[i])
+			cfg := cfgs[i]
+			// A caller-provided snapshot pool is sequential-only (its free
+			// lists are unsynchronized); concurrent runs must each build
+			// their own, so strip it rather than race on it.
+			cfg.Tuning.Pool = nil
+			return RunGossip(cfg)
 		})
 	return results, errs
 }

@@ -33,15 +33,33 @@ import (
 // benchGossip runs one gossip spec b.N times over spec-derived seeds:
 // the seed stream is a function of the full spec label (not just the loop
 // index), so distinct benchmarks never replay each other's randomness.
+//
+// Allocation accounting: every iteration shares one snapshot pool (safe —
+// the loop is strictly sequential) and one untimed warm-up run fills it
+// before the timer starts, so allocs/op reflects the simulator's steady
+// state rather than first-run pool warm-up. Seeds and results are
+// unaffected: pooling consumes no randomness and runs are bit-identical
+// with or without it (see TestPooledKernelMatchesUnpooled).
 func benchGossip(b *testing.B, proto string, n, f, d, delta int, adversary string) {
 	b.Helper()
 	label := fmt.Sprintf("gossip/%s/n=%d/f=%d/d=%d/delta=%d/%s", proto, n, f, d, delta, adversary)
-	var steps, msgs float64
-	for i := 0; i < b.N; i++ {
-		res, err := RunGossip(GossipConfig{
+	pool := icore.NewPool(n)
+	cfg := func(i int) GossipConfig {
+		c := GossipConfig{
 			Protocol: proto, N: n, F: f, D: d, Delta: delta,
 			Adversary: adversary, Seed: irunner.DeriveSeed(0, label, int64(i)),
-		})
+		}
+		c.Tuning.Pool = pool
+		return c
+	}
+	if _, err := RunGossip(cfg(0)); err != nil { // warm-up, untimed
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps, msgs float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunGossip(cfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,15 +71,26 @@ func benchGossip(b *testing.B, proto string, n, f, d, delta int, adversary strin
 }
 
 // benchConsensus runs one consensus spec b.N times over spec-derived seeds.
+// Consensus runs are unpooled (transports buffer payloads across steps —
+// see internal/consensus), so there is no pool to share; the warm-up run
+// still primes the allocator so allocs/op is steady-state.
 func benchConsensus(b *testing.B, transport string, n, f, d, delta int) {
 	b.Helper()
 	label := fmt.Sprintf("consensus/%s/n=%d/f=%d/d=%d/delta=%d", transport, n, f, d, delta)
-	var steps, msgs float64
-	for i := 0; i < b.N; i++ {
-		res, err := RunConsensus(ConsensusConfig{
+	cfg := func(i int) ConsensusConfig {
+		return ConsensusConfig{
 			Transport: transport, N: n, F: f, D: d, Delta: delta,
 			Seed: irunner.DeriveSeed(0, label, int64(i)),
-		})
+		}
+	}
+	if _, err := RunConsensus(cfg(0)); err != nil { // warm-up, untimed
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps, msgs float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunConsensus(cfg(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,6 +208,7 @@ func BenchmarkFigure1LowerBound(b *testing.B) {
 		b.Run(proto, func(b *testing.B) {
 			var msgs, forced float64
 			witnessed := 0
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := RunLowerBound(LowerBoundConfig{
 					Protocol: proto, N: 256, F: 64, Seed: int64(i), Trials: 8,
@@ -206,6 +236,7 @@ func BenchmarkFigure1Case2Isolation(b *testing.B) {
 	proto := frugalProto{}
 	var forced float64
 	isolations := 0
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := lowerbound.Run(proto, icore.Params{}, lowerbound.Config{
 			N: 256, F: 64, Seed: int64(i), Trials: 16,
@@ -225,6 +256,7 @@ func BenchmarkFigure1Case2Isolation(b *testing.B) {
 // BenchmarkCorollary2CostOfAsynchrony measures the Corollary 2 ratios:
 // asynchronous algorithms vs the synchronous optimum at d = δ = 1.
 func BenchmarkCorollary2CostOfAsynchrony(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.CostOfAsynchrony(experiments.Env{}, int64(i))
 		if err != nil {
@@ -280,6 +312,7 @@ func BenchmarkAblationEarsShutdown(b *testing.B) {
 	for _, c := range []float64{0.5, 2, 6, 12} {
 		b.Run(fmt.Sprintf("c=%v", c), func(b *testing.B) {
 			var steps, msgs float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := GossipConfig{
 					Protocol: ProtoEARS, N: 128, F: 32, D: 2, Delta: 2,
@@ -305,6 +338,7 @@ func BenchmarkAblationSearsEpsilon(b *testing.B) {
 	for _, eps := range []float64{0.25, 0.5, 0.75} {
 		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
 			var steps, msgs float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := GossipConfig{
 					Protocol: ProtoSEARS, N: 128, F: 32, D: 2, Delta: 2,
@@ -340,6 +374,7 @@ func BenchmarkAblationCoin(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var steps, rounds float64
 			decided := 0
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := RunConsensus(ConsensusConfig{
 					Transport: TransportDirect, N: 32, F: 15, D: 2, Delta: 2,
@@ -384,6 +419,7 @@ func BenchmarkAblationNaiveEpidemic(b *testing.B) {
 		}
 		b.Run(protoName, func(b *testing.B) {
 			completed := 0
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := isim.Config{N: n, F: 0, D: 1, Delta: 1, Seed: int64(i), MaxSteps: 4 * switchAt}
 				p := icore.Params{N: n, F: 0}
@@ -435,6 +471,7 @@ func BenchmarkBitComplexity(b *testing.B) {
 	for _, proto := range []string{ProtoTrivial, ProtoEARS, ProtoSEARS, ProtoTEARS} {
 		b.Run(proto, func(b *testing.B) {
 			var bytes, msgs float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := RunGossip(GossipConfig{
 					Protocol: proto, N: 128, F: 32, D: 2, Delta: 2,

@@ -3,17 +3,29 @@
 // trajectory: a schema-versioned BENCH_gossip.json with steps/run,
 // msgs/run, wall-clock and allocation figures for every cell. CI
 // regenerates the artifact on every push (quick scale) and nightly (full
-// scale), so a perf or complexity regression shows up as a diff in the
-// artifact rather than an anecdote.
+// and large scales), and the perf-regression gate compares fresh results
+// against the committed baseline so a complexity or performance
+// regression fails loudly instead of drifting in.
 //
-//	bench -quick -out BENCH_gossip.json   # the CI pinned suite
-//	bench -out BENCH_gossip.json          # full scale (nightly)
-//	bench -check BENCH_gossip.json        # validate an existing artifact
+//	bench -quick -out BENCH_gossip.json     # the CI pinned suite
+//	bench -out BENCH_gossip.json            # full scale (nightly)
+//	bench -large -out BENCH_large.json      # large-n sweep, lean trackers (nightly)
+//	bench -check BENCH_gossip.json          # validate an existing artifact
+//	bench -quick -compare BENCH_gossip.json # run the suite, then gate against a baseline
+//	bench -compare OLD.json NEW.json        # gate one artifact against another
+//
+// Comparison semantics: the paper's complexity measures (steps, messages,
+// bytes, failure counts) are deterministic functions of the pinned seeds,
+// so any difference is a behavioral regression and fails the gate
+// exactly. Harness-cost measures (wall clock, allocations) are machine-
+// and load-dependent, so they only warn — wall-clock beyond +20% and
+// allocations beyond +50% of the baseline.
 //
 // The suite is pinned on purpose: clique, ring and Erdős–Rényi topologies
 // at several n, under the standard oblivious adversary, with seeds derived
-// per cell via the runner's seed policy. Changing the suite is a schema
-// event, not a tweak — bump the schema version when cells change meaning.
+// per cell via the runner's seed policy. Changing what an existing cell
+// means is a schema event — bump the schema version; adding cells or
+// scales is additive and keeps the version.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -35,12 +48,22 @@ import (
 // pinned cells. Bump it when either changes; CI validates it exactly.
 const schemaVersion = "repro.bench.gossip/v1"
 
+// Comparison tolerances for the machine-dependent measures. Wall-clock
+// additionally requires an absolute regression floor: millisecond-scale
+// cells jitter far beyond 20% from scheduler noise alone, and a warning
+// that fires on noise trains people to ignore it.
+const (
+	wallWarnRatio   = 1.20
+	wallWarnFloorNs = 250 * 1e6 // 250ms absolute regression
+	allocsWarnRatio = 1.50
+)
+
 // benchFile is the artifact layout.
 type benchFile struct {
 	Schema    string       `json:"schema"`
 	Generated string       `json:"generated"` // RFC 3339 UTC
 	GoVersion string       `json:"go_version"`
-	Scale     string       `json:"scale"` // "quick" or "full"
+	Scale     string       `json:"scale"` // "quick", "full" or "large"
 	Workers   int          `json:"workers"`
 	Seeds     int          `json:"seeds"`
 	Results   []benchEntry `json:"results"`
@@ -55,6 +78,10 @@ type benchEntry struct {
 	F        int    `json:"f"`
 	Seeds    int    `json:"seeds"`
 	Failures int    `json:"failures"`
+	// Lean marks cells run with O(1) tracker bookkeeping (the large-n
+	// sweep); completion-time milestones stay exact, per-rumor times are
+	// upper bounds. Absent/false for the quick and full suites.
+	Lean bool `json:"lean,omitempty"`
 	// The paper's two complexity measures, averaged over seeds.
 	StepsPerRun float64 `json:"steps_per_run"`
 	StepsStd    float64 `json:"steps_std"`
@@ -68,28 +95,49 @@ type benchEntry struct {
 	AllocBytesPerRun float64 `json:"alloc_bytes_per_run"`
 }
 
-// cellSpec pins one suite cell. The f policy mirrors the Table 1 design
-// points: f = n/4 on the clique (tears at its design point just under
-// n/2), f = 0 on sparse families so the axis stays purely topological.
+// cellSpec pins one suite cell family. The f policy mirrors the Table 1
+// design points: f = n/4 on the clique (tears at its design point just
+// under n/2), f = 0 on sparse families so the axis stays purely
+// topological, f = 0 on the large sweep so memory stays the protocol's.
 type cellSpec struct {
-	proto  string
-	family string // "" = complete graph
-	fOf    func(n int) int
+	proto    string
+	family   string // "" = complete graph
+	fOf      func(n int) int
+	ns       []int
+	d, delta int  // message delay and scheduling bounds (0 = default 2)
+	lean     bool // large-n cells use O(1) tracker bookkeeping
 }
 
-// suite returns the pinned cells for a scale.
-func suite() []cellSpec {
+// suite returns the pinned cells for a scale ("quick", "full", "large").
+func suite(scale string) []cellSpec {
 	quarter := func(n int) int { return n / 4 }
 	minority := func(n int) int { return (n - 1) / 2 }
 	zero := func(int) int { return 0 }
+	if scale == "large" {
+		// The large-n sweep exercises the allocation-free kernel at 10×–200×
+		// the classic suite's n. Protocols are chosen to be feasible at this
+		// scale: tears (majority gossip, Θ(n^1.75) messages, O(1) tracker),
+		// the synchronous epidemic baseline, and the naive epidemic on
+		// sparse Erdős–Rényi graphs. ears is excluded by design — its
+		// informed list is Θ(n²) bits per process, which no pooling absorbs.
+		return []cellSpec{
+			{proto: "tears", family: "", fOf: zero, lean: true, ns: []int{8192, 20000}},
+			{proto: "sync-epidemic", family: "", fOf: zero, lean: true, d: 1, delta: 1, ns: []int{20000, 50000}},
+			{proto: "naive", family: topology.FamilyErdosRenyi, fOf: zero, lean: true, ns: []int{20000, 50000}},
+		}
+	}
+	ns := []int{64, 128, 256}
+	if scale == "quick" {
+		ns = []int{32, 64}
+	}
 	return []cellSpec{
-		{proto: "trivial", family: "", fOf: quarter},
-		{proto: "ears", family: "", fOf: quarter},
-		{proto: "sears", family: "", fOf: quarter},
-		{proto: "tears", family: "", fOf: minority},
-		{proto: "ears", family: topology.FamilyRing, fOf: zero},
-		{proto: "ears", family: topology.FamilyErdosRenyi, fOf: zero},
-		{proto: "tears", family: topology.FamilyErdosRenyi, fOf: zero},
+		{proto: "trivial", family: "", fOf: quarter, ns: ns},
+		{proto: "ears", family: "", fOf: quarter, ns: ns},
+		{proto: "sears", family: "", fOf: quarter, ns: ns},
+		{proto: "tears", family: "", fOf: minority, ns: ns},
+		{proto: "ears", family: topology.FamilyRing, fOf: zero, ns: ns},
+		{proto: "ears", family: topology.FamilyErdosRenyi, fOf: zero, ns: ns},
+		{proto: "tears", family: topology.FamilyErdosRenyi, fOf: zero, ns: ns},
 	}
 }
 
@@ -104,10 +152,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "CI scale (smaller n sweep and fewer seeds)")
+		large   = fs.Bool("large", false, "large-n sweep (n up to 50000, lean trackers)")
 		outPath = fs.String("out", "BENCH_gossip.json", "artifact path")
-		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full)")
+		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full, 2 large)")
 		workers = fs.Int("workers", 0, "worker pool for each cell's seed grid (0 = GOMAXPROCS)")
 		check   = fs.String("check", "", "validate an existing artifact instead of running the suite")
+		compare = fs.String("compare", "", "baseline artifact to gate against (with a positional NEW.json: compare files without running)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,14 +169,32 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "bench: %s is a valid %s artifact\n", *check, schemaVersion)
 		return nil
 	}
+	if *compare != "" && fs.NArg() > 0 {
+		// File-vs-file mode: no suite run.
+		fresh, err := loadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		return compareFiles(*compare, fresh, out)
+	}
+	if fs.NArg() > 0 {
+		// Positional arguments are only meaningful in file-vs-file compare
+		// mode; anything else is a mistyped flag (e.g. a forgotten -check),
+		// and running the suite instead could clobber the committed baseline.
+		return fmt.Errorf("unexpected argument %q (did you mean -check %s or -compare BASE.json %s?)",
+			fs.Arg(0), fs.Arg(0), fs.Arg(0))
+	}
+	if *quick && *large {
+		return fmt.Errorf("-quick and -large are mutually exclusive")
+	}
 
-	scale := experiments.Full
-	ns := []int{64, 128, 256}
+	scale := "full"
 	cellSeeds := 5
-	if *quick {
-		scale = experiments.Quick
-		ns = []int{32, 64}
-		cellSeeds = 3
+	switch {
+	case *quick:
+		scale, cellSeeds = "quick", 3
+	case *large:
+		scale, cellSeeds = "large", 2
 	}
 	if *seeds > 0 {
 		cellSeeds = *seeds
@@ -136,21 +204,29 @@ func run(args []string, out io.Writer) error {
 		Schema:    schemaVersion,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
-		Scale:     scale.String(),
+		Scale:     scale,
 		Workers:   runner.Workers(*workers),
 		Seeds:     cellSeeds,
 	}
-	for _, cell := range suite() {
-		for _, n := range ns {
+	for _, cell := range suite(scale) {
+		for _, n := range cell.ns {
 			family := cell.family
 			label := family
 			if label == "" {
 				label = topology.FamilyComplete
 			}
 			f := cell.fOf(n)
+			d, delta := cell.d, cell.delta
+			if d == 0 {
+				d = 2
+			}
+			if delta == 0 {
+				delta = 2
+			}
 			name := fmt.Sprintf("%s/%s/n=%d", cell.proto, label, n)
 			spec := experiments.GossipSpec{
-				Proto: cell.proto, N: n, F: f, D: 2, Delta: 2,
+				Proto: cell.proto, N: n, F: f,
+				D: sim.Time(d), Delta: sim.Time(delta),
 				Seeds: cellSeeds, Workers: *workers,
 				Topology: family,
 				// Each cell gets its own derived seed stream, so cells
@@ -158,6 +234,7 @@ func run(args []string, out io.Writer) error {
 				// indices.
 				SeedLabel: name,
 			}
+			spec.Gossip.Lean = cell.lean
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)
@@ -178,6 +255,7 @@ func run(args []string, out io.Writer) error {
 				N:        n, F: f,
 				Seeds:            cellSeeds,
 				Failures:         m.Failures,
+				Lean:             cell.lean,
 				StepsPerRun:      m.Time.Mean,
 				StepsStd:         m.Time.Std,
 				MsgsPerRun:       m.Messages.Mean,
@@ -206,24 +284,104 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "bench: wrote %d cells to %s (%s, %d seeds, %d workers)\n",
 		len(file.Results), *outPath, file.Scale, file.Seeds, file.Workers)
+	if *compare != "" {
+		return compareFiles(*compare, &file, out)
+	}
 	return nil
 }
 
-// checkFile parses and validates an artifact on disk.
-func checkFile(path string) error {
+// loadFile parses and validates an artifact on disk.
+func loadFile(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var file benchFile
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&file); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if err := validate(&file); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return &file, nil
+}
+
+// checkFile parses and validates an artifact on disk.
+func checkFile(path string) error {
+	_, err := loadFile(path)
+	return err
+}
+
+// compareFiles gates fresh results against a committed baseline: exact
+// equality on the deterministic complexity measures (any drift is a
+// behavioral regression and fails), tolerance-with-warning on the
+// machine-dependent cost measures (wall clock, allocations).
+func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
+	base, err := loadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if base.Scale != fresh.Scale || base.Seeds != fresh.Seeds {
+		return fmt.Errorf("incomparable grids: baseline is %s/%d seeds, fresh is %s/%d seeds",
+			base.Scale, base.Seeds, fresh.Scale, fresh.Seeds)
+	}
+	freshByName := make(map[string]benchEntry, len(fresh.Results))
+	for _, e := range fresh.Results {
+		freshByName[e.Name] = e
+	}
+	var failures []string
+	warnings := 0
+	for _, b := range base.Results {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: cell present in baseline but missing from fresh results", b.Name))
+			continue
+		}
+		delete(freshByName, b.Name)
+		exact := []struct {
+			metric     string
+			want, have float64
+		}{
+			{"steps/run", b.StepsPerRun, f.StepsPerRun},
+			{"steps-std", b.StepsStd, f.StepsStd},
+			{"msgs/run", b.MsgsPerRun, f.MsgsPerRun},
+			{"msgs-std", b.MsgsStd, f.MsgsStd},
+			{"bytes/run", b.BytesPerRun, f.BytesPerRun},
+			{"failures", float64(b.Failures), float64(f.Failures)},
+		}
+		for _, c := range exact {
+			if c.want != c.have {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s = %v, baseline %v (complexity metrics are deterministic; this is a behavioral change)",
+					b.Name, c.metric, c.have, c.want))
+			}
+		}
+		if b.WallNs > 0 && float64(f.WallNs) > float64(b.WallNs)*wallWarnRatio &&
+			float64(f.WallNs-b.WallNs) > wallWarnFloorNs {
+			warnings++
+			fmt.Fprintf(out, "bench: WARNING %s: wall %s vs baseline %s (> %.0f%% regression)\n",
+				b.Name, time.Duration(f.WallNs).Round(time.Millisecond),
+				time.Duration(b.WallNs).Round(time.Millisecond), (wallWarnRatio-1)*100)
+		}
+		if b.AllocsPerRun > 0 && f.AllocsPerRun > b.AllocsPerRun*allocsWarnRatio {
+			warnings++
+			fmt.Fprintf(out, "bench: WARNING %s: allocs/run %.0f vs baseline %.0f (> %.0f%% regression)\n",
+				b.Name, f.AllocsPerRun, b.AllocsPerRun, (allocsWarnRatio-1)*100)
+		}
+	}
+	for name := range freshByName {
+		fmt.Fprintf(out, "bench: note: new cell %s has no baseline yet\n", name)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(out, "bench: FAIL", f)
+		}
+		return fmt.Errorf("compare: %d complexity mismatches against %s", len(failures), basePath)
+	}
+	fmt.Fprintf(out, "bench: compare OK against %s (%d cells exact, %d cost warnings)\n",
+		basePath, len(base.Results), warnings)
 	return nil
 }
 
@@ -235,8 +393,8 @@ func validate(f *benchFile) error {
 	if _, err := time.Parse(time.RFC3339, f.Generated); err != nil {
 		return fmt.Errorf("generated timestamp: %w", err)
 	}
-	if f.Scale != "quick" && f.Scale != "full" {
-		return fmt.Errorf("scale %q, want quick|full", f.Scale)
+	if f.Scale != "quick" && f.Scale != "full" && f.Scale != "large" {
+		return fmt.Errorf("scale %q, want quick|full|large", f.Scale)
 	}
 	if f.Workers <= 0 || f.Seeds <= 0 {
 		return fmt.Errorf("workers=%d seeds=%d must be positive", f.Workers, f.Seeds)

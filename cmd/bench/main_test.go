@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,7 +38,7 @@ func TestBenchQuickEmitsValidArtifact(t *testing.T) {
 	if file.Scale != "quick" || file.Seeds != 2 {
 		t.Fatalf("scale=%q seeds=%d", file.Scale, file.Seeds)
 	}
-	if want := len(suite()) * 2; len(file.Results) != want { // 2 quick n points
+	if want := len(suite("quick")) * 2; len(file.Results) != want { // 2 quick n points
 		t.Fatalf("results: %d, want %d", len(file.Results), want)
 	}
 	// The clique cells must have real measurements.
@@ -87,5 +88,87 @@ func TestBadFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-zzz"}, &buf); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// artifactJSON builds a minimal valid artifact for compare tests.
+func artifactJSON(stepsA, msgsA float64, wallA int64, allocsA float64) string {
+	return `{"schema":"` + schemaVersion + `","generated":"2026-01-01T00:00:00Z","go_version":"go1.22",` +
+		`"scale":"quick","workers":1,"seeds":2,"results":[` +
+		`{"name":"a","protocol":"ears","topology":"complete","n":8,"f":2,"seeds":2,"failures":0,` +
+		`"steps_per_run":` + fmt.Sprint(stepsA) + `,"msgs_per_run":` + fmt.Sprint(msgsA) +
+		`,"wall_ns":` + fmt.Sprint(wallA) + `,"allocs_per_run":` + fmt.Sprint(allocsA) + `}]}`
+}
+
+// TestCompareExactAndTolerant pins the gate semantics: identical
+// complexity metrics pass (regardless of wall/alloc movement, which only
+// warns), while any complexity drift fails.
+func TestCompareExactAndTolerant(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", artifactJSON(10, 100, 1000, 50))
+
+	// Same complexity, 3x wall and allocs: pass with warnings.
+	slower := write("slower.json", artifactJSON(10, 100, 3000, 150))
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", base, slower}, &buf); err != nil {
+		t.Fatalf("cost-only regression failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("no cost warning emitted:\n%s", buf.String())
+	}
+
+	// Different message complexity: fail.
+	drifted := write("drifted.json", artifactJSON(10, 101, 1000, 50))
+	buf.Reset()
+	if err := run([]string{"-compare", base, drifted}, &buf); err == nil {
+		t.Fatalf("complexity drift passed the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "msgs/run") {
+		t.Fatalf("failure does not name the drifted metric:\n%s", buf.String())
+	}
+
+	// Incomparable grids (different seeds) are an error, not a silent pass.
+	other := write("other-seeds.json", strings.Replace(artifactJSON(10, 100, 1000, 50), `"seeds":2`, `"seeds":3`, 1))
+	if err := run([]string{"-compare", base, other}, &bytes.Buffer{}); err == nil {
+		t.Fatal("mismatched seed grids compared")
+	}
+
+	// A baseline cell disappearing from fresh results is a failure.
+	twoCell := strings.Replace(artifactJSON(10, 100, 1000, 50),
+		`"results":[`,
+		`"results":[{"name":"b","protocol":"ears","topology":"ring","n":8,"f":0,"seeds":2,"failures":0,"steps_per_run":5,"msgs_per_run":50,"wall_ns":500},`, 1)
+	baseTwo := write("base-two.json", twoCell)
+	buf.Reset()
+	if err := run([]string{"-compare", baseTwo, base}, &buf); err == nil {
+		t.Fatalf("missing cell passed the gate:\n%s", buf.String())
+	}
+}
+
+// TestCompareMatchedSeedsFlag runs the quick suite twice (tiny seed count)
+// and gates the second run against the first: determinism makes this pass
+// by construction, end to end through the CLI.
+func TestCompareMatchedSeedsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite in -short mode")
+	}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	if err := run([]string{"-quick", "-seeds", "1", "-out", basePath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	out := filepath.Join(dir, "fresh.json")
+	if err := run([]string{"-quick", "-seeds", "1", "-out", out, "-compare", basePath}, &buf); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "compare OK") {
+		t.Fatalf("no compare summary:\n%s", buf.String())
 	}
 }

@@ -37,6 +37,29 @@
 // bit-identical to serial. DeriveSeed exposes its seed policy for
 // callers building their own sweeps.
 //
+// # Determinism contract
+//
+// A run is a pure function of its configuration and seed. Three layers
+// uphold this, and every optimization must preserve it:
+//
+//   - The kernel (internal/sim) is single-goroutine per world, so event
+//     order is total and reproducible.
+//   - The worker pool (internal/runner) is bit-identical to serial
+//     execution: results are index-addressed and aggregated in grid
+//     order, never in completion order.
+//   - Memory recycling (the snapshot pools and the mailbox arena behind
+//     the hot path) consumes no randomness and touches no metric: pooled
+//     and unpooled runs produce identical executions event for event,
+//     which the determinism tests enforce. Pools are single-goroutine by
+//     design — one per world — and payloads are recycled only after the
+//     receiving process consumed them (see the Releasable contract in
+//     internal/sim); custom tracers and adversaries must therefore not
+//     retain message payloads beyond the callback that delivered them.
+//
+// The committed BENCH_gossip.json baseline and `cmd/bench -compare` turn
+// the contract into a CI gate: steps, messages and bytes must reproduce
+// bit for bit against the baseline on every change.
+//
 // Deeper extension points (custom protocols, adversaries, tracers,
 // graphs) are exposed through type aliases into the internal packages;
 // see Protocol, Adversary, Tracer and Graph.

@@ -28,10 +28,20 @@ func wordsFor(n int) int {
 
 // Set is a dense bit set over the universe [0, n). The zero value is an
 // empty set over an empty universe; use New to create a set with capacity.
+//
+// A set is either unpooled (pool == nil: snapshots use the legacy sticky
+// `shared` flag and all storage is garbage collected) or pooled
+// (pool != nil: snapshot sharing is tracked by a refcounted share record,
+// storage is recycled through the pool via Release, and a mutation that
+// finds itself the last referent reclaims sole ownership without copying).
+// Both modes have identical observable semantics; pooling only changes
+// where the bytes come from and where they go.
 type Set struct {
 	n      int
 	words  []uint64
-	shared bool // words may be aliased by a snapshot; copy before mutating
+	shared bool   // legacy copy-on-write flag (unpooled mode)
+	ref    *share // alias refcount (pooled mode); nil = sole referent
+	pool   *Pool  // nil = unpooled
 }
 
 // New returns an empty set over the universe [0, n).
@@ -54,6 +64,22 @@ func (s *Set) Universe() int { return s.n }
 
 // ensureOwned copies the word storage if it may be shared with a snapshot.
 func (s *Set) ensureOwned() {
+	if s.pool != nil {
+		if s.ref == nil {
+			return // pooled and sole referent: mutate in place
+		}
+		if s.ref.count > 1 {
+			w := s.pool.getWords()
+			copy(w, s.words)
+			s.ref.count--
+			s.words, s.ref = w, nil
+			return
+		}
+		// Every snapshot has been released; reclaim sole ownership.
+		s.pool.putShare(s.ref)
+		s.ref = nil
+		return
+	}
 	if s.shared {
 		w := make([]uint64, len(s.words))
 		copy(w, s.words)
@@ -67,9 +93,45 @@ func (s *Set) ensureOwned() {
 // copies. Snapshots are safe to read concurrently with mutation of the
 // original only if the mutation happens in the same goroutine or is
 // externally synchronized; the simulator is single-goroutine per world.
+//
+// A snapshot of a pooled set is itself pooled: its header comes from the
+// pool and it must be released with Release exactly once when its last
+// reader is done (the simulator does this when the carrying message is
+// consumed). A snapshot of an unpooled set is garbage collected as before.
 func (s *Set) Snapshot() *Set {
+	if s.pool != nil {
+		if s.ref == nil {
+			s.ref = s.pool.getShare()
+			s.ref.count = 1 // s itself
+		}
+		s.ref.count++
+		snap := s.pool.getSet()
+		snap.n, snap.words, snap.ref = s.n, s.words, s.ref
+		return snap
+	}
 	s.shared = true
 	return &Set{n: s.n, words: s.words, shared: true}
+}
+
+// Release returns a pooled set's storage to its pool: the header always,
+// the word buffer once no other alias references it. Calling Release on an
+// unpooled set is a no-op. The set must not be used after Release, and
+// Release must be called at most once per pooled instance — the simulator
+// guarantees both by releasing only through payload refcounts.
+func (s *Set) Release() {
+	p := s.pool
+	if p == nil {
+		return
+	}
+	if s.ref != nil {
+		if s.ref.count--; s.ref.count == 0 {
+			p.putWords(s.words)
+			p.putShare(s.ref)
+		}
+	} else if s.words != nil {
+		p.putWords(s.words)
+	}
+	p.putSet(s)
 }
 
 // Clone returns an independent deep copy of s.
@@ -251,6 +313,24 @@ func (s *Set) ForEachDiff(t *Set, fn func(i int) bool) {
 			w &= w - 1
 		}
 	}
+}
+
+// AppendDiff appends to dst each bit set in s but not in t (i.e. s \ t),
+// in ascending order, and returns the extended slice. It is the
+// allocation-free counterpart of ForEachDiff for hot paths that reuse a
+// scratch buffer (the rumor-absorb path runs once per delivered message).
+func (s *Set) AppendDiff(t *Set, dst []int32) []int32 {
+	for wi, w := range s.words {
+		if t != nil && wi < len(t.words) {
+			w &^= t.words[wi]
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, int32(wi*wordBits+b))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // Elements returns the set's elements in ascending order.

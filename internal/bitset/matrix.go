@@ -6,11 +6,18 @@ import "math/bits"
 // gossip informed-list I(p): row q holds the set of rumors known to have
 // been sent to process q. Rows are stored contiguously so row operations
 // (union with a rumor set, subset tests) are word-parallel.
+// Like Set, a Matrix is unpooled (legacy sticky `shared` flag, garbage
+// collected) or pooled (refcounted aliasing, storage recycled via Release).
+// The informed-list matrix is the simulator's largest recurring allocation
+// — Θ(n²) bits snapshotted into every ears/sears payload — so the pooled
+// mode is what makes large-n runs feasible.
 type Matrix struct {
 	n      int
 	stride int // words per row
 	words  []uint64
-	shared bool
+	shared bool   // legacy copy-on-write flag (unpooled mode)
+	ref    *share // alias refcount (pooled mode); nil = sole referent
+	pool   *Pool  // nil = unpooled
 }
 
 // NewMatrix returns an all-zero n×n bit matrix.
@@ -26,6 +33,21 @@ func NewMatrix(n int) *Matrix {
 func (m *Matrix) Universe() int { return m.n }
 
 func (m *Matrix) ensureOwned() {
+	if m.pool != nil {
+		if m.ref == nil {
+			return
+		}
+		if m.ref.count > 1 {
+			w := m.pool.getMatWords()
+			copy(w, m.words)
+			m.ref.count--
+			m.words, m.ref = w, nil
+			return
+		}
+		m.pool.putShare(m.ref)
+		m.ref = nil
+		return
+	}
 	if m.shared {
 		w := make([]uint64, len(m.words))
 		copy(w, m.words)
@@ -35,10 +57,39 @@ func (m *Matrix) ensureOwned() {
 }
 
 // Snapshot returns a logically immutable alias of m; the first mutation of
-// either side copies the words (copy-on-write).
+// either side copies the words (copy-on-write). Snapshots of a pooled
+// matrix are pooled and must be released exactly once (see Set.Snapshot).
 func (m *Matrix) Snapshot() *Matrix {
+	if m.pool != nil {
+		if m.ref == nil {
+			m.ref = m.pool.getShare()
+			m.ref.count = 1
+		}
+		m.ref.count++
+		snap := m.pool.getMat()
+		snap.n, snap.stride, snap.words, snap.ref = m.n, m.stride, m.words, m.ref
+		return snap
+	}
 	m.shared = true
 	return &Matrix{n: m.n, stride: m.stride, words: m.words, shared: true}
+}
+
+// Release returns a pooled matrix's storage to its pool (no-op when
+// unpooled). Same contract as Set.Release: at most once, never use after.
+func (m *Matrix) Release() {
+	p := m.pool
+	if p == nil {
+		return
+	}
+	if m.ref != nil {
+		if m.ref.count--; m.ref.count == 0 {
+			p.putMatWords(m.words)
+			p.putShare(m.ref)
+		}
+	} else if m.words != nil {
+		p.putMatWords(m.words)
+	}
+	p.putMat(m)
 }
 
 // Clone returns an independent deep copy.

@@ -1,0 +1,227 @@
+package bitset
+
+// Pool recycles the storage behind pooled sets and matrices of one fixed
+// universe size: word buffers, Set/Matrix headers and share records. It
+// exists for the simulator's hot path, where every local step snapshots a
+// rumor set (and for informed-list protocols an n×n matrix) into a message
+// payload that becomes garbage a few steps later — without recycling, the
+// allocator and GC dominate large-n runs.
+//
+// A Pool is intentionally NOT safe for concurrent use. The simulation
+// kernel is single-goroutine per world and every world owns its own pool,
+// so free-list operations need no synchronization; sharing a pool between
+// concurrently running worlds is a data race. This is the same contract as
+// the copy-on-write snapshots themselves (see Snapshot).
+//
+// Lifecycle: a pooled Set or Matrix is created by NewSet/NewMatrix or by
+// Snapshot of a pooled instance, and returns its storage via Release once
+// its last reader is done. The simulator drives Release through the
+// payload refcounts (sim.Releasable): a payload is retained once per
+// enqueued message and released once per consumed delivery. Objects that
+// are never released (messages to crashed processes, branched lower-bound
+// executions) simply fall back to the garbage collector — the pool holds
+// no reference to outstanding storage, so forgetting to release can never
+// corrupt it.
+type Pool struct {
+	n        int // universe size served by this pool
+	setWords int // words per set buffer: wordsFor(n)
+	matWords int // words per matrix buffer: n * wordsFor(n)
+
+	words  [][]uint64
+	mwords [][]uint64
+	sets   []*Set
+	mats   []*Matrix
+	shares []*share
+
+	// Slab state: fresh objects are carved from arena blocks rather than
+	// allocated singly, so even a cold pool (a short burst where nothing
+	// has been released yet) costs ~1/slabHdrs allocations per object.
+	setSlab   []Set
+	matSlab   []Matrix
+	shareSlab []share
+	wordArena []uint64 // carved into set-sized buffers
+	matArena  []uint64 // carved into matrix-sized buffers
+	matSlabSz int      // matrix buffers per arena block (size-adaptive)
+}
+
+// slabHdrs is the number of headers per slab block.
+const slabHdrs = 64
+
+// matSlabTarget caps a matrix arena block at ~this many words so huge-n
+// pools do not over-commit memory for slack (a 20k-process informed list
+// is ~50 MB per buffer; slabs only help when buffers are small).
+const matSlabTarget = 1 << 16
+
+// share tracks how many Set/Matrix headers alias one word buffer in pooled
+// copy-on-write mode. A nil share on a pooled instance means the instance
+// is the buffer's only referent.
+type share struct {
+	count int32
+}
+
+// NewPool returns a pool for sets over [0, n) and n×n matrices.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	w := wordsFor(n)
+	p := &Pool{n: n, setWords: w, matWords: n * w, matSlabSz: 1}
+	if p.matWords > 0 && p.matWords <= matSlabTarget {
+		p.matSlabSz = matSlabTarget / p.matWords
+		if p.matSlabSz > 16 {
+			p.matSlabSz = 16
+		}
+	}
+	return p
+}
+
+// Universe returns the universe size the pool serves.
+func (p *Pool) Universe() int { return p.n }
+
+// NewSet returns an empty pooled set over [0, n). Its snapshots draw their
+// headers from the pool and Release returns storage to it.
+func (p *Pool) NewSet() *Set {
+	s := p.getSet()
+	s.n = p.n
+	s.words = p.getWords()
+	clearWords(s.words)
+	return s
+}
+
+// NewMatrix returns an all-zero pooled n×n matrix.
+func (p *Pool) NewMatrix() *Matrix {
+	m := p.getMat()
+	m.n = p.n
+	m.stride = p.setWords
+	m.words = p.getMatWords()
+	clearWords(m.words)
+	return m
+}
+
+// getWords returns a set-sized word buffer with UNSPECIFIED contents; the
+// caller must fully overwrite or clear it.
+func (p *Pool) getWords() []uint64 {
+	if k := len(p.words); k > 0 {
+		w := p.words[k-1]
+		p.words[k-1] = nil
+		p.words = p.words[:k-1]
+		return w
+	}
+	if p.setWords == 0 {
+		return nil
+	}
+	if len(p.wordArena) < p.setWords {
+		p.wordArena = make([]uint64, slabHdrs*p.setWords)
+	}
+	w := p.wordArena[:p.setWords:p.setWords]
+	p.wordArena = p.wordArena[p.setWords:]
+	return w
+}
+
+func (p *Pool) putWords(w []uint64) {
+	if len(w) == p.setWords {
+		p.words = append(p.words, w)
+	}
+}
+
+// getMatWords returns a matrix-sized word buffer with UNSPECIFIED contents.
+func (p *Pool) getMatWords() []uint64 {
+	if k := len(p.mwords); k > 0 {
+		w := p.mwords[k-1]
+		p.mwords[k-1] = nil
+		p.mwords = p.mwords[:k-1]
+		return w
+	}
+	if p.matWords == 0 {
+		return nil
+	}
+	if p.matSlabSz <= 1 {
+		return make([]uint64, p.matWords)
+	}
+	if len(p.matArena) < p.matWords {
+		p.matArena = make([]uint64, p.matSlabSz*p.matWords)
+	}
+	w := p.matArena[:p.matWords:p.matWords]
+	p.matArena = p.matArena[p.matWords:]
+	return w
+}
+
+func (p *Pool) putMatWords(w []uint64) {
+	if len(w) == p.matWords {
+		p.mwords = append(p.mwords, w)
+	}
+}
+
+func (p *Pool) getSet() *Set {
+	if k := len(p.sets); k > 0 {
+		s := p.sets[k-1]
+		p.sets[k-1] = nil
+		p.sets = p.sets[:k-1]
+		return s
+	}
+	if len(p.setSlab) == 0 {
+		p.setSlab = make([]Set, slabHdrs)
+	}
+	s := &p.setSlab[0]
+	p.setSlab = p.setSlab[1:]
+	s.pool = p
+	return s
+}
+
+func (p *Pool) putSet(s *Set) {
+	s.n, s.words, s.shared, s.ref = 0, nil, false, nil
+	p.sets = append(p.sets, s)
+}
+
+func (p *Pool) getMat() *Matrix {
+	if k := len(p.mats); k > 0 {
+		m := p.mats[k-1]
+		p.mats[k-1] = nil
+		p.mats = p.mats[:k-1]
+		return m
+	}
+	if len(p.matSlab) == 0 {
+		p.matSlab = make([]Matrix, slabHdrs)
+	}
+	m := &p.matSlab[0]
+	p.matSlab = p.matSlab[1:]
+	m.pool = p
+	return m
+}
+
+func (p *Pool) putMat(m *Matrix) {
+	m.n, m.stride, m.words, m.shared, m.ref = 0, 0, nil, false, nil
+	p.mats = append(p.mats, m)
+}
+
+func (p *Pool) getShare() *share {
+	if k := len(p.shares); k > 0 {
+		s := p.shares[k-1]
+		p.shares[k-1] = nil
+		p.shares = p.shares[:k-1]
+		return s
+	}
+	if len(p.shareSlab) == 0 {
+		p.shareSlab = make([]share, slabHdrs)
+	}
+	s := &p.shareSlab[0]
+	p.shareSlab = p.shareSlab[1:]
+	return s
+}
+
+func (p *Pool) putShare(s *share) {
+	s.count = 0
+	p.shares = append(p.shares, s)
+}
+
+// clearWords zeroes a buffer (recycled buffers carry stale contents).
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// Stats reports the free-list sizes (testing and diagnostics).
+func (p *Pool) Stats() (words, matWords, sets, mats int) {
+	return len(p.words), len(p.mwords), len(p.sets), len(p.mats)
+}

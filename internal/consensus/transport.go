@@ -65,6 +65,14 @@ func newTransportFactory(kind TransportKind, id sim.ProcID, p core.Params) (tran
 		if err != nil {
 			return nil, err
 		}
+		// Gossip nodes embedded in consensus transports run unpooled
+		// (p.Pool stays nil): their payloads are wrapped in consensus
+		// Payloads, which the consensus node may buffer across steps for
+		// future instances — retaining them past the delivering Step, which
+		// the pooled-release contract (sim.Releasable) forbids. Enforce
+		// that invariant here rather than inheriting whatever the caller
+		// put in the tuning parameters.
+		p.Pool, p.NoPool = nil, true
 		return func(_ int, r *rng.RNG) transport {
 			return &protocolTransport{node: proto.NewNode(id, p, r)}
 		}, nil

@@ -28,12 +28,29 @@ const NoValue = ^uint8(0)
 type Rumors struct {
 	Set  *bitset.Set
 	Vals []uint8
+	pool *Pool // nil = unpooled; set by newRumors for pooled collections
 }
 
 // NewRumors returns an empty rumor collection over n processes. If
 // withVals is set, rumors carry values.
 func NewRumors(n int, withVals bool) *Rumors {
-	r := &Rumors{Set: bitset.New(n)}
+	return newRumors(n, withVals, nil)
+}
+
+// newRumors is NewRumors with an optional pool: the collection header and
+// the set's word storage come from the pool, and snapshots taken from the
+// collection are pooled (released through the payload refcounts). Vals is
+// never pooled — it is shared write-once across every snapshot for the
+// lifetime of the node (see the type comment), so it can never be safely
+// recycled before the run ends.
+func newRumors(n int, withVals bool, pool *Pool) *Rumors {
+	var r *Rumors
+	if pool != nil {
+		r = pool.getRumors()
+		r.Set = pool.bits.NewSet()
+	} else {
+		r = &Rumors{Set: bitset.New(n)}
+	}
 	if withVals {
 		r.Vals = make([]uint8, n)
 	}
@@ -62,9 +79,30 @@ func (ru *Rumors) Value(r sim.ProcID) uint8 {
 	return ru.Vals[r]
 }
 
-// Snapshot returns a cheap logically immutable copy for sending.
+// Snapshot returns a cheap logically immutable copy for sending. A
+// snapshot of a pooled collection is pooled: it is released (with the set
+// snapshot inside it) when its carrying payload's refcount drops to zero.
 func (ru *Rumors) Snapshot() *Rumors {
+	if ru.pool != nil {
+		s := ru.pool.getRumors()
+		s.Set = ru.Set.Snapshot()
+		s.Vals = ru.Vals
+		return s
+	}
 	return &Rumors{Set: ru.Set.Snapshot(), Vals: ru.Vals}
+}
+
+// release returns a pooled snapshot's storage to its pool (no-op when
+// unpooled). Must be called at most once; the payload release path is the
+// only caller.
+func (ru *Rumors) release() {
+	if ru.pool == nil {
+		return
+	}
+	if ru.Set != nil {
+		ru.Set.Release()
+	}
+	ru.pool.putRumors(ru)
 }
 
 // Union merges other into ru, copying attached values for newly gained
@@ -111,28 +149,64 @@ func (ru *Rumors) String() string {
 // collection plus acquisition-time records used by evaluators to compute
 // the paper's completion time after the run. Synchronous baselines and the
 // consensus layer embed it too.
+//
+// A tracker has two modes. The full mode (the default) records the
+// acquisition time of every rumor and of every count milestone — Θ(n) words
+// per process, Θ(n²) per run, which is what the evaluators and the stage
+// experiments read. The lean mode (Params.Lean) keeps O(1) bookkeeping:
+// the time of the most recent acquisition and the time the count crossed
+// the majority threshold. Lean trackers answer RumorAcquiredAt with the
+// last-acquisition time for any held rumor (an upper bound that is exact
+// for the rumor acquired last) and RumorCountReachedAt exactly for
+// k ∈ {1, majority, current count}; this is precisely what the gossip
+// evaluators consume, and it is what makes n in the tens of thousands fit
+// in memory for the large-scale bench sweeps.
 type Tracker struct {
 	n          int
+	self       sim.ProcID
 	rum        *Rumors
-	acquiredAt []sim.Time // per rumor; -1 if never acquired
-	countAt    []sim.Time // countAt[k]: time the count first reached k (k>=1)
+	acquiredAt []sim.Time // per rumor; -1 if never acquired (nil in lean mode)
+	countAt    []sim.Time // countAt[k]: time the count first reached k (nil in lean mode)
 	count      int
+
+	lean   bool
+	maj    int      // ⌊n/2⌋+1 (lean mode milestone)
+	lastAt sim.Time // lean: time of the most recent acquisition
+	majAt  sim.Time // lean: time the count first reached maj; -1 before
 }
 
-// NewTracker returns a Tracker for process id over n processes, seeded
-// with the process's own rumor (value val, or NoValue).
+// NewTracker returns a full-mode, unpooled Tracker for process id over n
+// processes, seeded with the process's own rumor (value val, or NoValue).
+// Protocol implementations should prefer Params.NewTracker, which applies
+// the run's pool and tracker mode.
 func NewTracker(n int, id sim.ProcID, val uint8, withVals bool) Tracker {
+	return newTracker(n, id, val, withVals, nil, false)
+}
+
+// NewTracker builds the tracker for process id under p: pooled rumor
+// storage when the run has a pool, lean bookkeeping when p.Lean is set.
+func (p Params) NewTracker(id sim.ProcID, val uint8) Tracker {
+	return newTracker(p.N, id, val, p.WithVals, p.Pool, p.Lean)
+}
+
+func newTracker(n int, id sim.ProcID, val uint8, withVals bool, pool *Pool, lean bool) Tracker {
 	st := Tracker{
-		n:          n,
-		rum:        NewRumors(n, withVals),
-		acquiredAt: make([]sim.Time, n),
-		countAt:    make([]sim.Time, n+1),
+		n:     n,
+		self:  id,
+		rum:   newRumors(n, withVals, pool),
+		lean:  lean,
+		maj:   n/2 + 1,
+		majAt: -1,
 	}
-	for i := range st.acquiredAt {
-		st.acquiredAt[i] = -1
-	}
-	for i := range st.countAt {
-		st.countAt[i] = -1
+	if !lean {
+		// One backing array for both time tables (they live and die
+		// together, and runs construct n of them).
+		times := make([]sim.Time, 2*n+1)
+		for i := range times {
+			times[i] = -1
+		}
+		st.acquiredAt = times[:n:n]
+		st.countAt = times[n:]
 	}
 	st.Learn(id, val, 0)
 	return st
@@ -144,26 +218,47 @@ func (st *Tracker) Learn(r sim.ProcID, val uint8, now sim.Time) {
 		return
 	}
 	st.rum.Add(r, val)
-	st.acquiredAt[r] = now
 	st.count++
+	st.noteAcquired(r, now)
+}
+
+// noteAcquired updates the time bookkeeping after the count already moved.
+func (st *Tracker) noteAcquired(r sim.ProcID, now sim.Time) {
+	if st.lean {
+		st.lastAt = now
+		if st.count >= st.maj && st.majAt < 0 {
+			st.majAt = now
+		}
+		return
+	}
+	st.acquiredAt[r] = now
 	st.countAt[st.count] = now
 }
 
 // Absorb merges an incoming rumor collection, recording acquisition times.
+// It is the per-delivery hot path: new rumors are discovered by a
+// word-level diff (the iteration closure does not escape, so absorption
+// allocates nothing), and the set union is skipped entirely when the
+// message carried nothing new — the common case late in a run, which also
+// avoids touching a copy-on-write buffer for no reason.
 func (st *Tracker) Absorb(in *Rumors, now sim.Time) {
 	if in == nil {
 		return
 	}
+	vals := st.rum.Vals != nil && in.Vals != nil
+	changed := false
 	in.Set.ForEachDiff(st.rum.Set, func(i int) bool {
-		st.acquiredAt[i] = now
+		changed = true
 		st.count++
-		st.countAt[st.count] = now
-		if st.rum.Vals != nil && in.Vals != nil {
+		st.noteAcquired(sim.ProcID(i), now)
+		if vals {
 			st.rum.Vals[i] = in.Vals[i]
 		}
 		return true
 	})
-	st.rum.Set.UnionWith(in.Set)
+	if changed {
+		st.rum.Set.UnionWith(in.Set)
+	}
 }
 
 // RumorSet implements RumorHolder.
@@ -172,15 +267,29 @@ func (st *Tracker) RumorSet() *bitset.Set { return st.rum.Set }
 // Rumors exposes the full collection (consensus layer reads values).
 func (st *Tracker) Rumors() *Rumors { return st.rum }
 
-// RumorAcquiredAt implements RumorHolder.
+// RumorAcquiredAt implements RumorHolder. In lean mode the answer for a
+// held rumor is the node's last acquisition time (exact for the rumor
+// acquired last, an upper bound for the rest) and 0 for the node's own.
 func (st *Tracker) RumorAcquiredAt(r sim.ProcID) sim.Time {
 	if int(r) < 0 || int(r) >= st.n {
 		return -1
 	}
+	if st.lean {
+		switch {
+		case !st.rum.Has(r):
+			return -1
+		case r == st.self:
+			return 0
+		default:
+			return st.lastAt
+		}
+	}
 	return st.acquiredAt[r]
 }
 
-// RumorCountReachedAt implements RumorHolder.
+// RumorCountReachedAt implements RumorHolder. In lean mode the milestones
+// k = 1, k = ⌊n/2⌋+1 and k = current count are exact; other reached counts
+// answer with the last acquisition time (an upper bound).
 func (st *Tracker) RumorCountReachedAt(k int) sim.Time {
 	if k <= 0 {
 		return 0
@@ -188,17 +297,37 @@ func (st *Tracker) RumorCountReachedAt(k int) sim.Time {
 	if k > st.n {
 		return -1
 	}
+	if st.lean {
+		switch {
+		case k > st.count:
+			return -1
+		case k == 1:
+			return 0
+		case k == st.maj:
+			return st.majAt
+		default:
+			return st.lastAt
+		}
+	}
 	return st.countAt[k]
 }
 
-// CloneTracker deep-copies the bookkeeping for node cloning.
+// CloneTracker deep-copies the bookkeeping for node cloning. Clones are
+// unpooled regardless of the original: they are driven outside the world
+// (the Theorem 1 adversary branches executions by hand), where nothing
+// ever releases their snapshots.
 func (st *Tracker) CloneTracker() Tracker {
 	cp := Tracker{
 		n:          st.n,
+		self:       st.self,
 		rum:        &Rumors{Set: st.rum.Set.Clone()},
 		acquiredAt: append([]sim.Time(nil), st.acquiredAt...),
 		countAt:    append([]sim.Time(nil), st.countAt...),
 		count:      st.count,
+		lean:       st.lean,
+		maj:        st.maj,
+		lastAt:     st.lastAt,
+		majAt:      st.majAt,
 	}
 	if st.rum.Vals != nil {
 		cp.rum.Vals = append([]uint8(nil), st.rum.Vals...)

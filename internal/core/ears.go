@@ -28,13 +28,14 @@ func (EARS) Name() string { return NameEARS }
 func (EARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 	p = p.WithDefaults()
 	return &earsNode{
-		Tracker:       NewTracker(p.N, id, NoValue, p.WithVals),
+		Tracker:       p.NewTracker(id, NoValue),
 		id:            id,
 		n:             p.N,
 		peers:         p.sampler(int(id)),
-		inf:           newInformedList(p.N),
+		inf:           newInformedList(p.N, p.Pool),
 		shutdownSteps: p.shutdownThreshold(),
 		fanout:        1,
+		pool:          p.Pool,
 		r:             r,
 	}
 }
@@ -68,6 +69,12 @@ type earsNode struct {
 	// fanout is the number of random targets per local step: 1 for ears,
 	// Θ(n^ε log n) for sears (§4).
 	fanout int
+	// kbuf is the reusable fan-out target buffer (sears draws Θ(n^ε log n)
+	// targets per step; the buffer keeps that allocation-free).
+	kbuf []int
+
+	// pool recycles payload snapshots (nil = unpooled run).
+	pool *Pool
 
 	r *rng.RNG
 }
@@ -117,10 +124,7 @@ func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 
 	// Epidemic transmission mode (lines 16–21): snapshot first — the
 	// pseudocode sends ⟨V(p), I(p)⟩ before recording the new pairs.
-	payload := &GossipPayload{
-		Rumors:   e.rum.Snapshot(),
-		Informed: informedSnapshot{m: e.inf.m.Snapshot()},
-	}
+	payload := e.pool.Gossip(e.rum.Snapshot(), e.inf.m.Snapshot(), false)
 	if e.fanout <= 1 {
 		// Uniform on [n] (self included) on the clique; uniform over the
 		// neighborhood on an explicit topology.
@@ -130,7 +134,8 @@ func (e *earsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		}
 		return
 	}
-	for _, q := range e.peers.K(e.fanout, e.r) {
+	e.kbuf = e.peers.KInto(e.kbuf[:0], e.fanout, e.r)
+	for _, q := range e.kbuf {
 		out.Send(sim.ProcID(q), payload)
 		e.inf.markSent(q, e.rum.Set)
 	}
@@ -149,7 +154,8 @@ func (e *earsNode) Quiescent() bool {
 	return e.inf.covered() && e.sleepCnt > e.shutdownSteps
 }
 
-// CloneNode implements sim.Cloner.
+// CloneNode implements sim.Cloner. Clones are unpooled: they run in
+// hand-driven branched executions where nothing releases their snapshots.
 func (e *earsNode) CloneNode() sim.Node {
 	return &earsNode{
 		Tracker:       e.CloneTracker(),
@@ -185,10 +191,24 @@ type informedList struct {
 	n         int
 	m         *bitset.Matrix
 	uncovered *bitset.Set // L(p): rows q with V ⊄ I-row(q)
+	scratch   []int32     // reusable row buffer for refresh
 }
 
-func newInformedList(n int) *informedList {
-	return &informedList{n: n, m: bitset.NewMatrix(n), uncovered: bitset.NewFull(n)}
+// newInformedList builds I(p). With a pool, the matrix (the largest object
+// a gossip node snapshots into payloads) and the uncovered-row set draw
+// their buffers from the pool instead of the allocator.
+func newInformedList(n int, pool *Pool) *informedList {
+	var m *bitset.Matrix
+	var unc *bitset.Set
+	if pool != nil {
+		m = pool.bits.NewMatrix()
+		unc = pool.bits.NewSet()
+		unc.Fill()
+	} else {
+		m = bitset.NewMatrix(n)
+		unc = bitset.NewFull(n)
+	}
+	return &informedList{n: n, m: m, uncovered: unc}
 }
 
 func (il *informedList) union(other *bitset.Matrix) { il.m.UnionWith(other) }
@@ -204,15 +224,11 @@ func (il *informedList) refresh(v *bitset.Set, vGrew, iGrew bool) {
 			}
 		}
 	case iGrew:
-		var nowCovered []int
-		il.uncovered.ForEach(func(q int) bool {
-			if il.m.RowContainsSet(q, v) {
-				nowCovered = append(nowCovered, q)
+		il.scratch = il.uncovered.AppendDiff(nil, il.scratch[:0])
+		for _, q := range il.scratch {
+			if il.m.RowContainsSet(int(q), v) {
+				il.uncovered.Remove(int(q))
 			}
-			return true
-		})
-		for _, q := range nowCovered {
-			il.uncovered.Remove(q)
 		}
 	}
 }

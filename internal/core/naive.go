@@ -41,11 +41,12 @@ func (Naive) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		reps = 1
 	}
 	return &naiveNode{
-		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, NoValue),
 		id:      id,
 		n:       p.N,
 		peers:   p.sampler(int(id)),
 		reps:    reps,
+		pool:    p.Pool,
 		r:       r,
 	}
 }
@@ -63,6 +64,7 @@ type naiveNode struct {
 	peers topology.Sampler
 	reps  int
 	step  int
+	pool  *Pool
 	r     *rng.RNG
 }
 
@@ -89,7 +91,7 @@ func (nn *naiveNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 	}
 	nn.step++
 	if q, ok := nn.peers.One(nn.r); ok {
-		out.Send(sim.ProcID(q), &GossipPayload{Rumors: nn.Rumors().Snapshot()})
+		out.Send(sim.ProcID(q), nn.pool.Gossip(nn.Rumors().Snapshot(), nil, false))
 	}
 }
 

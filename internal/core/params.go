@@ -45,6 +45,29 @@ type Params struct {
 	// restricts every send to the sender's neighborhood; pass the same
 	// graph to sim.Config so the world enforces it.
 	Graph topology.Graph
+
+	// Pool recycles hot-path snapshot storage (payloads, rumor sets,
+	// informed lists). Leave nil: NewNodes creates a fresh pool per run,
+	// which is always safe. Setting it explicitly shares the pool across
+	// runs — valid only for strictly sequential runs of the same N (the
+	// benchmarks do this to measure steady-state allocation); sharing a
+	// pool between concurrent runs is a data race. Pooling never changes
+	// results: runs are bit-identical with any Pool/NoPool combination.
+	Pool *Pool
+
+	// NoPool disables snapshot pooling for this run (NewNodes will not
+	// create a pool). Used by the live cluster, whose goroutine-per-process
+	// execution cannot share single-threaded free lists, and by tests that
+	// pin the legacy allocation behavior.
+	NoPool bool
+
+	// Lean selects O(1) per-process time bookkeeping instead of the Θ(n)
+	// acquisition-time arrays (see Tracker). Evaluator completion times
+	// remain exact for the milestones they read; per-rumor acquisition
+	// times degrade to last-acquisition upper bounds. Intended for
+	// large-scale sweeps (n in the tens of thousands) where the full
+	// tracker's Θ(n²) footprint per run does not fit.
+	Lean bool
 }
 
 // WithDefaults returns a copy of p with zero fields replaced by defaults.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/bitset"
+)
+
+// Pool recycles the per-send objects of the gossip hot path: payload
+// headers, rumor-collection headers, and (through the embedded bitset
+// pool) the copy-on-write word buffers behind rumor sets and informed
+// lists. One pool serves one run — it is created by NewNodes, shared by
+// all nodes of that world, and must never be shared between concurrently
+// running worlds (the simulation kernel is single-goroutine per world, so
+// free-list operations are unsynchronized by design; see bitset.Pool).
+//
+// The release side is driven by the simulator: GossipPayload implements
+// sim.Releasable, the world retains a payload once per enqueued message
+// and releases it once per consumed delivery, and the final release
+// returns every buffer to the pool. Payloads that escape this discipline
+// (sends dropped by the topology filter, messages pending to crashed
+// processes at the end of a run, hand-driven lower-bound branches) are
+// simply garbage collected — the pool never references outstanding
+// objects, so a missed release degrades reuse, not correctness.
+//
+// Reusing one pool across several *sequential* runs of the same N (as the
+// benchmarks do) amortizes warm-up and makes steady-state allocations per
+// run near-zero; the copy-on-write soundness argument (content.go) is
+// untouched because pooling only changes where buffers come from, never
+// when they are copied.
+type Pool struct {
+	bits     *bitset.Pool
+	payloads []*GossipPayload
+	rumors   []*Rumors
+
+	// Header slabs: cold allocations are carved from blocks so a short
+	// burst (a constant-time protocol's whole run fits in a few steps)
+	// costs ~1/64 allocations per object even before anything recycles.
+	paySlab []GossipPayload
+	rumSlab []Rumors
+}
+
+// poolSlab is the number of headers per slab block.
+const poolSlab = 64
+
+// NewPool returns a pool for runs over n processes.
+func NewPool(n int) *Pool {
+	return &Pool{bits: bitset.NewPool(n)}
+}
+
+// Bits exposes the underlying bitset pool (tracker and informed-list
+// construction draw their live-state buffers from it).
+func (p *Pool) Bits() *bitset.Pool {
+	if p == nil {
+		return nil
+	}
+	return p.bits
+}
+
+// Gossip assembles a payload around an already-snapshotted rumor
+// collection and optional informed-list snapshot. On a nil pool it
+// allocates a plain payload, preserving the legacy unpooled behavior, so
+// protocol code can call it unconditionally.
+func (p *Pool) Gossip(rum *Rumors, inf *bitset.Matrix, flag bool) *GossipPayload {
+	if p == nil {
+		return &GossipPayload{Rumors: rum, Informed: informedSnapshot{m: inf}, Flag: flag}
+	}
+	g := p.getPayload()
+	g.Rumors, g.Informed.m, g.Flag = rum, inf, flag
+	return g
+}
+
+func (p *Pool) getPayload() *GossipPayload {
+	if k := len(p.payloads); k > 0 {
+		g := p.payloads[k-1]
+		p.payloads[k-1] = nil
+		p.payloads = p.payloads[:k-1]
+		return g
+	}
+	if len(p.paySlab) == 0 {
+		p.paySlab = make([]GossipPayload, poolSlab)
+	}
+	g := &p.paySlab[0]
+	p.paySlab = p.paySlab[1:]
+	g.pool = p
+	return g
+}
+
+func (p *Pool) putPayload(g *GossipPayload) {
+	g.Rumors, g.Informed.m, g.Flag, g.refs = nil, nil, false, 0
+	p.payloads = append(p.payloads, g)
+}
+
+func (p *Pool) getRumors() *Rumors {
+	if k := len(p.rumors); k > 0 {
+		r := p.rumors[k-1]
+		p.rumors[k-1] = nil
+		p.rumors = p.rumors[:k-1]
+		return r
+	}
+	if len(p.rumSlab) == 0 {
+		p.rumSlab = make([]Rumors, poolSlab)
+	}
+	r := &p.rumSlab[0]
+	p.rumSlab = p.rumSlab[1:]
+	r.pool = p
+	return r
+}
+
+func (p *Pool) putRumors(r *Rumors) {
+	r.Set, r.Vals = nil, nil
+	p.rumors = append(p.rumors, r)
+}

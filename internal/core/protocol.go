@@ -56,10 +56,26 @@ func ByName(name string) (Protocol, error) {
 // independent stream forked from the seed, so runs are reproducible and the
 // streams are disjoint from any adversary stream (which forks with a
 // different tag).
+//
+// Unless p.NoPool is set (or p.Pool is already provided), NewNodes creates
+// one snapshot pool shared by the run's nodes: payload and rumor-set
+// storage is recycled through the simulator's delivery refcounts instead
+// of being garbage collected per send. Pooling is invisible to results —
+// it consumes no randomness and touches no metric — and is exercised
+// against the unpooled kernel by the determinism tests.
 func NewNodes(proto Protocol, p Params, seed int64) ([]sim.Node, error) {
 	p = p.WithDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.Pool != nil && p.Pool.Bits().Universe() != p.N {
+		// A mismatched pool would silently mis-size every rumor set and
+		// informed list (bitset ignores out-of-range indices); fail loudly.
+		return nil, fmt.Errorf("core: pool is sized for n = %d, run has N = %d",
+			p.Pool.Bits().Universe(), p.N)
+	}
+	if p.Pool == nil && !p.NoPool {
+		p.Pool = NewPool(p.N)
 	}
 	root := rng.New(seed).Fork(0x90551)
 	nodes := make([]sim.Node, p.N)
@@ -88,15 +104,51 @@ func (t *tearsNode) Reseed(r *rng.RNG) { t.r = r }
 // GossipPayload is the message payload exchanged by the protocols in this
 // package: the sender's rumor collection and, for informed-list protocols
 // (ears, sears), a snapshot of the informed-list matrix. All components are
-// copy-on-write snapshots; receivers must not mutate them.
+// copy-on-write snapshots; receivers must not mutate them and must not
+// retain them beyond the Step that delivered them (a pooled payload's
+// storage is recycled as soon as every addressed process has consumed it).
 type GossipPayload struct {
 	Rumors   *Rumors
 	Informed informedSnapshot
 	// Flag is the tears first-level marker (↑ in Figure 3).
 	Flag bool
+
+	// refs counts undelivered messages carrying this payload; pool is the
+	// run's snapshot pool. Both are zero for unpooled payloads, for which
+	// Retain/Release are no-ops and the GC owns the storage.
+	refs int32
+	pool *Pool
 }
 
 var _ sim.Sizer = (*GossipPayload)(nil)
+
+// Retain implements sim.Releasable: the world retains the payload once per
+// message it enqueues.
+func (g *GossipPayload) Retain() {
+	if g.pool == nil {
+		return
+	}
+	g.refs++
+}
+
+// Release implements sim.Releasable: the world releases the payload after
+// the addressed process's Step consumed the delivery. The final release
+// returns the payload and its snapshots to the run's pool.
+func (g *GossipPayload) Release() {
+	if g.pool == nil {
+		return
+	}
+	if g.refs--; g.refs > 0 {
+		return
+	}
+	if g.Rumors != nil {
+		g.Rumors.release()
+	}
+	if g.Informed.m != nil {
+		g.Informed.m.Release()
+	}
+	g.pool.putPayload(g)
+}
 
 // SizeBytes implements sim.Sizer: dense rumor bitmap, values, plus a sparse
 // encoding of the informed list (the paper's bit-complexity future work).

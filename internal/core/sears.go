@@ -24,15 +24,18 @@ func (SEARS) Name() string { return NameSEARS }
 // NewNode implements Protocol.
 func (SEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 	p = p.WithDefaults()
+	fanout := p.searsFanout()
 	return &earsNode{
-		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, NoValue),
 		id:      id,
 		n:       p.N,
 		peers:   p.sampler(int(id)),
-		inf:     newInformedList(p.N),
+		inf:     newInformedList(p.N, p.Pool),
 		// "Each process takes only one shut-down step."
 		shutdownSteps: 1,
-		fanout:        p.searsFanout(),
+		fanout:        fanout,
+		kbuf:          make([]int, 0, fanout),
+		pool:          p.Pool,
 		r:             r,
 	}
 }

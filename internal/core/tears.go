@@ -46,12 +46,13 @@ func (TEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 	n := p.N
 	a := p.tearsA()
 	node := &tearsNode{
-		Tracker: NewTracker(n, id, NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, NoValue),
 		id:      id,
 		n:       n,
 		a:       a,
 		mu:      a / 2,
 		kappa:   p.tearsKappa(),
+		pool:    p.Pool,
 		r:       r,
 	}
 	// Π1, Π2: include every potential target independently with
@@ -64,6 +65,12 @@ func (TEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 	if deg := ps.Degree(); deg > 0 {
 		prob = float64(a) / float64(deg)
 	}
+	// Audience sizes concentrate tightly around a (Lemma 8); pre-sizing to
+	// a small margin above the mean makes construction two allocations
+	// instead of a growth chain per audience.
+	cap1 := a + a/4 + 8
+	node.pi1 = make([]sim.ProcID, 0, cap1)
+	node.pi2 = make([]sim.ProcID, 0, cap1)
 	ps.Each(func(q int) bool {
 		if r.Bool(prob) {
 			node.pi1 = append(node.pi1, sim.ProcID(q))
@@ -95,7 +102,8 @@ type tearsNode struct {
 	sentSnd  int // second-level broadcasts performed (diagnostics)
 	safeEnds sim.Time
 
-	r *rng.RNG
+	pool *Pool
+	r    *rng.RNG
 }
 
 var (
@@ -112,7 +120,7 @@ func (t *tearsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 	if !t.started {
 		// First local step: first-level messages with the flag raised.
 		t.started = true
-		payload := &GossipPayload{Rumors: t.rum.Snapshot(), Flag: true}
+		payload := t.pool.Gossip(t.rum.Snapshot(), nil, true)
 		out.SendAll(t.pi1, payload)
 	}
 
@@ -133,7 +141,7 @@ func (t *tearsNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		if t.triggerCrossed(prev, t.upCnt) {
 			t.sentSnd++
 			t.safeEnds = now
-			payload := &GossipPayload{Rumors: t.rum.Snapshot()}
+			payload := t.pool.Gossip(t.rum.Snapshot(), nil, false)
 			out.SendAll(t.pi2, payload)
 		}
 	}

@@ -22,10 +22,11 @@ func (Trivial) Name() string { return NameTrivial }
 func (Trivial) NewNode(id sim.ProcID, p Params, _ *rng.RNG) sim.Node {
 	p = p.WithDefaults()
 	return &trivialNode{
-		Tracker: NewTracker(p.N, id, NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, NoValue),
 		id:      id,
 		n:       p.N,
 		peers:   p.sampler(int(id)),
+		pool:    p.Pool,
 	}
 }
 
@@ -39,6 +40,7 @@ type trivialNode struct {
 	id    sim.ProcID
 	n     int
 	peers topology.Sampler
+	pool  *Pool
 	sent  bool
 }
 
@@ -62,7 +64,7 @@ func (t *trivialNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
 		return
 	}
 	t.sent = true
-	payload := &GossipPayload{Rumors: t.rum.Snapshot()}
+	payload := t.pool.Gossip(t.rum.Snapshot(), nil, false)
 	t.peers.Each(func(q int) bool {
 		out.Send(sim.ProcID(q), payload)
 		return true

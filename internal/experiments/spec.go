@@ -220,6 +220,10 @@ func runGossipOnce(proto core.Protocol, spec GossipSpec, seed int64) (sim.Result
 	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
 	p := spec.Gossip
 	p.N, p.F = spec.N, spec.F
+	// Grid cells run concurrently; a caller-shared snapshot pool would be a
+	// data race, so every run builds its own (results are identical either
+	// way — pooling never touches randomness or metrics).
+	p.Pool = nil
 	if spec.Topology != "" {
 		g, err := topology.Build(topology.Spec{
 			Family: spec.Topology, N: spec.N,

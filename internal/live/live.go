@@ -348,6 +348,10 @@ func RunGossip(proto core.Protocol, params core.Params, cfg Config) (Report, err
 	cfg = cfg.withDefaults()
 	params.N = cfg.N
 	params.F = len(cfg.Crashes)
+	// The live cluster is goroutine-per-process: nodes cannot share the
+	// single-goroutine snapshot pool the simulation kernel uses, so runs
+	// here are always unpooled (plain GC-backed copy-on-write snapshots).
+	params.NoPool, params.Pool = true, nil
 	nodes, err := core.NewNodes(proto, params, cfg.Seed)
 	if err != nil {
 		return Report{}, err

@@ -85,43 +85,73 @@ func (r *RNG) Bool(p float64) bool {
 
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return r.PermInto(make([]int, 0, n), n)
+}
+
+// PermInto writes a pseudo-random permutation of [0, n) into dst (reusing
+// its capacity) and returns it. The draw sequence is identical to Perm's.
+func (r *RNG) PermInto(dst []int, n int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
 	}
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return p
+	return dst
 }
 
 // Sample returns k distinct values drawn uniformly from [0, n) in random
 // order. If k >= n it returns a permutation of [0, n).
 func (r *RNG) Sample(n, k int) []int {
-	if k >= n {
-		return r.Perm(n)
-	}
-	if k <= 0 {
+	if k <= 0 && k < n {
 		return nil
 	}
-	// Floyd's algorithm: O(k) expected insertions with a small map.
-	chosen := make(map[int]struct{}, k)
-	out := make([]int, 0, k)
+	return r.SampleInto(make([]int, 0, min(k, n)), n, k)
+}
+
+// SampleInto is Sample writing into dst (reusing its capacity): k distinct
+// uniform values from [0, n), a permutation of [0, n) when k >= n. It
+// consumes exactly the same draws and returns exactly the same values as
+// Sample for any generator state, so the two are interchangeable without
+// perturbing a run; the hot simulation paths use SampleInto with a scratch
+// buffer to keep per-step target selection allocation-free.
+func (r *RNG) SampleInto(dst []int, n, k int) []int {
+	if k >= n {
+		return r.PermInto(dst, n)
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	// Floyd's algorithm. Membership is tested by scanning the partial
+	// output — it holds exactly the chosen values, so the test matches the
+	// map-based formulation draw for draw while staying allocation-free
+	// (k is small: a fan-out, not n).
+	dst = dst[:0]
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, ok := chosen[t]; ok {
+		if intsContain(dst, t) {
 			t = j
 		}
-		chosen[t] = struct{}{}
-		out = append(out, t)
+		dst = append(dst, t)
 	}
 	// Shuffle so order is uniform too.
-	for i := len(out) - 1; i > 0; i-- {
+	for i := len(dst) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
-		out[i], out[j] = out[j], out[i]
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return out
+	return dst
+}
+
+// intsContain reports whether v occurs in s.
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Geometric returns a sample from a geometric distribution with success

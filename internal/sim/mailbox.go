@@ -1,0 +1,160 @@
+package sim
+
+// msgBlockCap is the number of messages per mailbox block. Blocks are the
+// unit of recycling: big enough that per-message overhead amortizes, small
+// enough that a mostly-drained destination does not pin much memory.
+const msgBlockCap = 32
+
+// msgBlock is a fixed-capacity segment of one destination's queue.
+type msgBlock struct {
+	next *msgBlock
+	n    int
+	msgs [msgBlockCap]Message
+}
+
+// mailbox holds every undelivered message of a world as per-destination
+// FIFO chains of fixed-size blocks drawn from one shared free list. It
+// replaces the per-destination []Message queues: blocks emptied by a
+// delivery are recycled immediately (with their payload references
+// cleared), so steady-state traffic allocates nothing and delivered
+// payloads become collectable (or poolable) the moment they are consumed
+// instead of lingering in slice slack. Like the world that owns it, a
+// mailbox is single-goroutine.
+type mailbox struct {
+	heads  []*msgBlock
+	tails  []*msgBlock
+	counts []int32
+	free   *msgBlock
+
+	allocated int        // blocks ever created (diagnostics)
+	slab      []msgBlock // fresh blocks are carved from slabs
+
+	scratch []Message // kept-messages buffer reused across drains
+}
+
+// blockSlab is the number of blocks allocated per slab.
+const blockSlab = 16
+
+// init prepares the mailbox for n destinations.
+func (mb *mailbox) init(n int) {
+	mb.heads = make([]*msgBlock, n)
+	mb.tails = make([]*msgBlock, n)
+	mb.counts = make([]int32, n)
+}
+
+func (mb *mailbox) getBlock() *msgBlock {
+	if b := mb.free; b != nil {
+		mb.free = b.next
+		b.next = nil
+		return b
+	}
+	if len(mb.slab) == 0 {
+		mb.slab = make([]msgBlock, blockSlab)
+	}
+	b := &mb.slab[0]
+	mb.slab = mb.slab[1:]
+	mb.allocated++
+	return b
+}
+
+// putBlock clears a block's message slots (dropping payload references so
+// the GC and the snapshot pools are not pinned by dead queue slack) and
+// pushes it on the free list.
+func (mb *mailbox) putBlock(b *msgBlock) {
+	for i := 0; i < b.n; i++ {
+		b.msgs[i] = Message{}
+	}
+	b.n = 0
+	b.next = mb.free
+	mb.free = b
+}
+
+// enqueue appends m to its destination's queue.
+func (mb *mailbox) enqueue(m Message) {
+	to := int(m.To)
+	t := mb.tails[to]
+	if t == nil || t.n == msgBlockCap {
+		nb := mb.getBlock()
+		if t == nil {
+			mb.heads[to] = nb
+		} else {
+			t.next = nb
+		}
+		mb.tails[to] = nb
+		t = nb
+	}
+	t.msgs[t.n] = m
+	t.n++
+	mb.counts[to]++
+}
+
+// count returns the number of undelivered messages destined to p.
+func (mb *mailbox) count(p int) int { return int(mb.counts[p]) }
+
+// drain appends every message for p whose ReadyAt has arrived to inbox in
+// queue order, keeps the not-yet-ready messages in order, recycles every
+// block the kept messages no longer need, and returns the extended inbox.
+func (mb *mailbox) drain(p int, now Time, inbox []Message) []Message {
+	if mb.counts[p] == 0 {
+		return inbox
+	}
+	keep := mb.scratch[:0]
+	for b := mb.heads[p]; b != nil; b = b.next {
+		for i := 0; i < b.n; i++ {
+			if b.msgs[i].ReadyAt <= now {
+				inbox = append(inbox, b.msgs[i])
+			} else {
+				keep = append(keep, b.msgs[i])
+			}
+		}
+	}
+
+	if len(keep) == 0 {
+		for b := mb.heads[p]; b != nil; {
+			next := b.next
+			mb.putBlock(b)
+			b = next
+		}
+		mb.heads[p], mb.tails[p] = nil, nil
+		mb.counts[p] = 0
+	} else {
+		// Rewrite the kept messages densely into the existing chain. The
+		// chain's capacity is at least the original message count ≥ len(keep),
+		// so the cursor never runs past the tail.
+		cur := mb.heads[p]
+		idx := 0
+		for {
+			nn := len(keep) - idx
+			if nn > msgBlockCap {
+				nn = msgBlockCap
+			}
+			copy(cur.msgs[:nn], keep[idx:idx+nn])
+			for i := nn; i < cur.n; i++ {
+				cur.msgs[i] = Message{} // clear delivered slack
+			}
+			cur.n = nn
+			idx += nn
+			if idx == len(keep) {
+				break
+			}
+			cur = cur.next
+		}
+		rest := cur.next
+		cur.next = nil
+		mb.tails[p] = cur
+		for rest != nil {
+			next := rest.next
+			mb.putBlock(rest)
+			rest = next
+		}
+		mb.counts[p] = int32(len(keep))
+	}
+
+	// Clear the scratch slack so it does not pin delivered payloads, and
+	// keep its grown capacity for the next drain.
+	for i := range keep {
+		keep[i] = Message{}
+	}
+	mb.scratch = keep[:0]
+	return inbox
+}

@@ -39,6 +39,25 @@ type ProcID int32
 // copy-on-write snapshots to make wide fan-outs cheap).
 type Payload interface{}
 
+// Releasable is optionally implemented by payloads whose storage is pooled.
+// The world retains a payload once per message it enqueues and releases it
+// once per consumed delivery (after the addressed process's Step returned),
+// so a payload shared by a fan-out of k messages sees k retains and up to k
+// releases; the payload recycles its buffers when the count returns to
+// zero. Messages that are never delivered (pending to a crashed process,
+// left over at a timeout) are simply never released — pooled payloads must
+// degrade to garbage collection in that case.
+//
+// Receivers, tracers and adversaries must not retain a releasable payload
+// (or anything reachable from it) beyond the callback or Step that handed
+// it to them. Protocols that do retain payloads across steps — the
+// consensus layer buffers messages for future instances — must use plain
+// unpooled payloads, which this contract leaves untouched.
+type Releasable interface {
+	Retain()
+	Release()
+}
+
 // Sizer is optionally implemented by payloads to report an approximate wire
 // size in bytes. The paper counts messages, not bits ("this remains a
 // subject for future work"); byte accounting is provided as an extension

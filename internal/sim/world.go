@@ -27,7 +27,7 @@ type World struct {
 	adv     Adversary
 	tracer  Tracer
 	probe   func(View)
-	pending [][]Message // per-destination queues of undelivered messages
+	box     mailbox // undelivered messages, pooled in recycled blocks
 	alive   []bool
 	nAlive  int
 	now     Time
@@ -70,12 +70,12 @@ func NewWorld(cfg Config, nodes []Node, adv Adversary) (*World, error) {
 		cfg:       cfg,
 		nodes:     nodes,
 		adv:       adv,
-		pending:   make([][]Message, cfg.N),
 		alive:     make([]bool, cfg.N),
 		nAlive:    cfg.N,
 		metrics:   newMetrics(cfg.N),
 		lastSched: make([]Time, cfg.N),
 	}
+	w.box.init(cfg.N)
 	for i := range w.alive {
 		w.alive[i] = true
 		w.lastSched[i] = -1
@@ -254,36 +254,46 @@ func (w *World) stepProcess(p ProcID) error {
 		if w.tracer != nil {
 			w.tracer.OnSend(m)
 		}
-		w.pending[m.To] = append(w.pending[m.To], m)
+		// A pooled payload is retained once per enqueued message and
+		// released in releaseInbox once the delivery is consumed.
+		if rel, ok := m.Payload.(Releasable); ok {
+			rel.Retain()
+		}
+		w.box.enqueue(m)
 	}
 	if w.tracer != nil {
 		w.tracer.OnStep(p, w.now)
 	}
+	w.releaseInbox(inbox)
 	return nil
 }
 
 // drainReady removes and returns the messages pending for p whose ReadyAt
 // has arrived. The returned slice is valid until the next call.
 func (w *World) drainReady(p ProcID) []Message {
-	q := w.pending[p]
-	if len(q) == 0 {
+	w.inboxBuf = w.box.drain(int(p), w.now, w.inboxBuf[:0])
+	delivered := w.inboxBuf
+	if len(delivered) == 0 {
 		return nil
 	}
-	w.inboxBuf = w.inboxBuf[:0]
-	keep := q[:0]
-	for _, m := range q {
-		if m.ReadyAt <= w.now {
-			w.inboxBuf = append(w.inboxBuf, m)
-			if w.tracer != nil {
-				w.tracer.OnDeliver(m, w.now)
-			}
-			w.metrics.DeliveredTo[p]++
-		} else {
-			keep = append(keep, m)
+	w.metrics.DeliveredTo[p] += int64(len(delivered))
+	if w.tracer != nil {
+		for _, m := range delivered {
+			w.tracer.OnDeliver(m, w.now)
 		}
 	}
-	w.pending[p] = keep
-	return w.inboxBuf
+	return delivered
+}
+
+// releaseInbox hands consumed deliveries back to their payload pools (see
+// Releasable) and clears the inbox slack so dead payloads are collectable.
+func (w *World) releaseInbox(inbox []Message) {
+	for i := range inbox {
+		if rel, ok := inbox[i].Payload.(Releasable); ok {
+			rel.Release()
+		}
+		inbox[i].Payload = nil
+	}
 }
 
 // isQuiet reports whether no live node will act again: every live node is
@@ -294,7 +304,7 @@ func (w *World) isQuiet() bool {
 		if !w.alive[p] {
 			continue
 		}
-		if len(w.pending[p]) > 0 {
+		if w.box.count(p) > 0 {
 			return false
 		}
 		if !w.nodes[p].Quiescent() {
@@ -310,7 +320,7 @@ func (w *World) PendingCount() int {
 	c := 0
 	for p := 0; p < w.cfg.N; p++ {
 		if w.alive[p] {
-			c += len(w.pending[p])
+			c += w.box.count(p)
 		}
 	}
 	return c

@@ -106,12 +106,13 @@ func (e Epidemic) NewNode(id sim.ProcID, p core.Params, r *rng.RNG) sim.Node {
 		c = 3
 	}
 	return &epidemicNode{
-		Tracker: core.NewTracker(p.N, id, core.NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, core.NoValue),
 		id:      id,
 		n:       p.N,
 		peers:   topology.NewSampler(int(id), p.N, p.Graph),
 		fanout:  fanout,
 		rounds:  rounds(p, c),
+		pool:    p.Pool,
 		r:       r,
 	}
 }
@@ -129,6 +130,8 @@ type epidemicNode struct {
 	fanout int
 	rounds int
 	round  int
+	pool   *core.Pool
+	kbuf   []int
 	r      *rng.RNG
 }
 
@@ -151,8 +154,9 @@ func (e *epidemicNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) 
 		return
 	}
 	e.round++
-	payload := &core.GossipPayload{Rumors: e.Rumors().Snapshot()}
-	for _, q := range e.peers.K(e.fanout, e.r) {
+	payload := e.pool.Gossip(e.Rumors().Snapshot(), nil, false)
+	e.kbuf = e.peers.KInto(e.kbuf[:0], e.fanout, e.r)
+	for _, q := range e.kbuf {
 		out.Send(sim.ProcID(q), payload)
 	}
 }
@@ -215,10 +219,11 @@ func (d Deterministic) NewNode(id sim.ProcID, p core.Params, _ *rng.RNG) sim.Nod
 		}
 	}
 	return &deterministicNode{
-		Tracker: core.NewTracker(p.N, id, core.NoValue, p.WithVals),
+		Tracker: p.NewTracker(id, core.NoValue),
 		id:      id,
 		n:       p.N,
 		offsets: offsets,
+		pool:    p.Pool,
 	}
 }
 
@@ -233,6 +238,7 @@ type deterministicNode struct {
 	n       int
 	offsets [][]int
 	round   int
+	pool    *core.Pool
 }
 
 var (
@@ -253,7 +259,7 @@ func (d *deterministicNode) Step(now sim.Time, inbox []sim.Message, out *sim.Out
 	if d.round >= len(d.offsets) {
 		return
 	}
-	payload := &core.GossipPayload{Rumors: d.Rumors().Snapshot()}
+	payload := d.pool.Gossip(d.Rumors().Snapshot(), nil, false)
 	for _, off := range d.offsets[d.round] {
 		q := (int(d.id) + off) % d.n
 		out.Send(sim.ProcID(q), payload)

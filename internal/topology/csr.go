@@ -113,6 +113,19 @@ func (g *CSR) SampleNeighbors(v, k int, r *rng.RNG) []int {
 	return out
 }
 
+// SampleNeighborsInto is SampleNeighbors writing into dst (reusing its
+// capacity): identical draws and results, no per-call allocation once the
+// scratch buffer has grown to the fan-out. Sampling row indices is O(k),
+// so a pick is O(1) per target with the CSR row as the only indirection.
+func (g *CSR) SampleNeighborsInto(dst []int, v, k int, r *rng.RNG) []int {
+	row := g.adj[g.off[v]:g.off[v+1]]
+	dst = r.SampleInto(dst, len(row), k)
+	for i, j := range dst {
+		dst[i] = int(row[j])
+	}
+	return dst
+}
+
 // HasEdge implements Graph: binary search in u's sorted row. Self-loops
 // never exist in a CSR, so HasEdge(v, v) is false — protocols running on
 // explicit topologies address real neighbors only.

@@ -244,6 +244,25 @@ func (s Sampler) K(k int, r *rng.RNG) []int {
 	return s.g.SampleNeighbors(s.self, k, r)
 }
 
+// KInto is K writing into dst (reusing its capacity): the same draws and
+// targets with zero allocation once dst has grown to the fan-out. The
+// built-in graphs (the implicit clique and every CSR-backed family) take
+// the zero-allocation path; a custom Graph implementation falls back to
+// its allocating SampleNeighbors, keeping the interface unchanged.
+func (s Sampler) KInto(dst []int, k int, r *rng.RNG) []int {
+	if s.g == nil {
+		return r.SampleInto(dst, s.n, k)
+	}
+	switch g := s.g.(type) {
+	case *CSR:
+		return g.SampleNeighborsInto(dst, s.self, k, r)
+	case Complete:
+		return r.SampleInto(dst, int(g), k)
+	default:
+		return append(dst[:0], s.g.SampleNeighbors(s.self, k, r)...)
+	}
+}
+
 // Each iterates the potential targets (self excluded) in ascending order,
 // stopping early when fn returns false.
 func (s Sampler) Each(fn func(q int) bool) {
