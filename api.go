@@ -10,6 +10,7 @@ import (
 	"repro/internal/lowerbound"
 	"repro/internal/rng"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/syncgossip"
 	"repro/internal/topology"
@@ -63,6 +64,7 @@ const (
 	AdversaryCrashStorm = adversary.PresetCrashStorm
 	AdversaryMaxDelay   = adversary.PresetMaxDelay
 	AdversaryStaggered  = adversary.PresetStaggered
+	AdversaryPartition  = adversary.PresetPartition
 )
 
 // Consensus transport names accepted by ConsensusConfig.Transport.
@@ -468,6 +470,63 @@ func RunConsensusMany(b Batch, cfgs []ConsensusConfig) (results []*ConsensusResu
 			return RunConsensus(cfgs[i])
 		})
 	return results, errs
+}
+
+// Scenario-fuzzing aliases: the deterministic simulation-fuzzing engine
+// behind cmd/fuzz, exposed for embedding (see doc.go and internal/scenario).
+type (
+	// ScenarioSpec is one fully materialized fuzzing scenario: protocol,
+	// system parameters, topology, and the adversary's schedule/delay/crash
+	// policies, all serializable — executing a spec is a pure function of
+	// its fields.
+	ScenarioSpec = scenario.Spec
+	// ScenarioReport is the replayable artifact emitted for a violated
+	// scenario: coordinates, oracle verdicts, the failing spec and its
+	// shrunk minimized repro.
+	ScenarioReport = scenario.Report
+	// FuzzSummary aggregates one fuzzing session deterministically.
+	FuzzSummary = scenario.Summary
+)
+
+// FuzzOptions configures RunFuzz. The summary is a pure function of
+// (Seed, FirstIndex, Runs): Workers only changes wall-clock time.
+type FuzzOptions struct {
+	// Runs is the number of scenarios to generate and execute.
+	Runs int
+	// Seed keys the scenario stream.
+	Seed int64
+	// FirstIndex offsets into the stream (resume/partition sessions).
+	FirstIndex int64
+	// Workers caps concurrency (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// ShrinkBudget bounds re-executions spent minimizing each failure
+	// (0 = the engine default).
+	ShrinkBudget int
+	// Context, when non-nil, cancels the session; scenarios that never
+	// started are counted in Summary.Skipped.
+	Context context.Context
+}
+
+// RunFuzz executes one deterministic scenario-fuzzing session: random
+// adversary/topology/protocol scenarios drawn from the seed, every
+// execution checked against the invariant-oracle catalog, and every
+// violation shrunk to a minimized, replayable ScenarioReport.
+func RunFuzz(opts FuzzOptions) (*FuzzSummary, error) {
+	return scenario.Fuzz(scenario.Options{
+		Runs:         opts.Runs,
+		MasterSeed:   opts.Seed,
+		FirstIndex:   opts.FirstIndex,
+		Workers:      opts.Workers,
+		ShrinkBudget: opts.ShrinkBudget,
+		Context:      opts.Context,
+	})
+}
+
+// GenerateScenario derives the index-th scenario of a master seed's
+// stream — the same pure function RunFuzz iterates, exposed so callers
+// can inspect or re-execute individual scenarios.
+func GenerateScenario(seed, index int64) ScenarioSpec {
+	return scenario.Generate(seed, index)
 }
 
 // DeriveSeed maps (base, label, cell) onto a well-mixed 64-bit seed —

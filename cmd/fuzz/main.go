@@ -1,0 +1,210 @@
+// Command fuzz is the deterministic scenario-fuzzing harness: it draws
+// random (protocol × topology × adversary × n/f/d/δ) scenarios from a
+// master seed, executes them through the sim kernel, and checks every run
+// against the invariant-oracle catalog (crash budget, delay clamp,
+// post-crash silence, schedule gaps, completion promises, paper-derived
+// complexity envelopes, pooled ≡ unpooled equivalence). Failures are
+// shrunk to minimized repros and written as replayable ScenarioReports.
+//
+//	fuzz -runs 200 -seed 1                  # a fixed-size session
+//	fuzz -duration 10m -seed 1 -out reports # time-boxed (nightly CI)
+//	fuzz -repro reports/scenario-1-42.json  # replay a failure artifact
+//
+// Sessions are reproducible: with -runs, output and any reports are
+// byte-identical across invocations and worker counts (serial ≡ parallel).
+// With -duration, the scenario stream is the same — only how far the
+// session gets varies with machine speed.
+//
+// Exit status: 0 when every scenario passed (or, with -repro, when the
+// report's violation reproduced), 1 when violations were found (or the
+// repro did not reproduce), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	var (
+		runs     = fs.Int("runs", 0, "number of scenarios to run (exclusive with -duration)")
+		duration = fs.Duration("duration", 0, "time box: run batches of scenarios until the deadline")
+		seed     = fs.Int64("seed", 1, "master seed of the scenario stream")
+		first    = fs.Int64("first", 0, "first scenario index (resume/partition a stream)")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		out      = fs.String("out", "", "directory for failure reports (created on demand)")
+		shrink   = fs.Int("shrink", 0, "shrink budget per failure (0 = default)")
+		repro    = fs.String("repro", "", "replay a ScenarioReport file instead of fuzzing")
+		verbose  = fs.Bool("v", false, "log every failing scenario to stderr as it is found")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *repro != "" {
+		return replay(*repro, stdout)
+	}
+	if (*runs > 0) == (*duration > 0) {
+		fmt.Fprintln(os.Stderr, "fuzz: need exactly one of -runs or -duration")
+		return 2
+	}
+
+	if *runs > 0 {
+		sum, err := scenario.Fuzz(scenario.Options{
+			Runs:         *runs,
+			MasterSeed:   *seed,
+			FirstIndex:   *first,
+			Workers:      *workers,
+			ShrinkBudget: *shrink,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 2
+		}
+		return finish(sum, *out, *verbose, stdout)
+	}
+
+	// Time-boxed mode: fixed-size batches through the same deterministic
+	// stream until the deadline. The batch size only affects how promptly
+	// the deadline is honored, never which scenarios exist.
+	const batch = 200
+	deadline := time.Now().Add(*duration)
+	total := &scenario.Summary{
+		Schema:     scenario.SummarySchema,
+		MasterSeed: *seed,
+		FirstIndex: *first,
+		ByProtocol: map[string]int{},
+	}
+	next := *first
+	for time.Now().Before(deadline) {
+		sum, err := scenario.Fuzz(scenario.Options{
+			Runs:         batch,
+			MasterSeed:   *seed,
+			FirstIndex:   next,
+			Workers:      *workers,
+			ShrinkBudget: *shrink,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 2
+		}
+		merge(total, sum)
+		next += batch
+	}
+	return finish(total, *out, *verbose, stdout)
+}
+
+// merge folds a batch summary into the running total.
+func merge(total, sum *scenario.Summary) {
+	total.Runs += sum.Runs
+	total.Completed += sum.Completed
+	total.Unpromised += sum.Unpromised
+	total.EquivalenceChecked += sum.EquivalenceChecked
+	total.Crashes += sum.Crashes
+	total.Messages += sum.Messages
+	total.Skipped += sum.Skipped
+	for k, v := range sum.ByProtocol {
+		total.ByProtocol[k] += v
+	}
+	total.Reports = append(total.Reports, sum.Reports...)
+}
+
+// finish prints the deterministic session summary, writes reports, and
+// picks the exit status.
+func finish(sum *scenario.Summary, out string, verbose bool, stdout io.Writer) int {
+	data, err := encodeSummary(sum)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		return 2
+	}
+	stdout.Write(data)
+	if len(sum.Reports) == 0 {
+		return 0
+	}
+	for i := range sum.Reports {
+		r := &sum.Reports[i]
+		if verbose {
+			fmt.Fprintf(os.Stderr, "fuzz: FAIL %s: %s: %s (shrunk in %d runs: %s)\n",
+				r.Label, r.Violations[0].Oracle, r.Violations[0].Detail, r.ShrinkRuns, r.Minimized.Label())
+		}
+		if out != "" {
+			if err := writeReport(out, r); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+				return 2
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: %d of %d scenarios violated an oracle\n", len(sum.Reports), sum.Runs)
+	return 1
+}
+
+// encodeSummary renders the summary without volatile fields: reports are
+// written to files, stdout carries only deterministic content.
+func encodeSummary(sum *scenario.Summary) ([]byte, error) {
+	trimmed := *sum
+	trimmed.Reports = nil
+	data, err := trimmed.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func writeReport(dir string, r *scenario.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, r.Filename()), data, 0o644)
+}
+
+// replay loads a report and re-executes its specs; exit 0 means the
+// violation reproduced.
+func replay(path string, stdout io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		return 2
+	}
+	rep, err := scenario.DecodeReport(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		return 2
+	}
+	minimized, original, err := scenario.Replay(rep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+		return 2
+	}
+	primary := rep.Violations[0].Oracle
+	fmt.Fprintf(stdout, "report: %s\nprimary oracle: %s\noriginal: %s\nminimized: %s\n",
+		rep.Label, primary, verdict(original), verdict(minimized))
+	for _, v := range minimized.Violations {
+		fmt.Fprintf(stdout, "minimized violation: %s: %s\n", v.Oracle, v.Detail)
+	}
+	if minimized.Reproduced {
+		return 0
+	}
+	fmt.Fprintln(stdout, "minimized spec did NOT reproduce the primary violation")
+	return 1
+}
+
+func verdict(r scenario.ReplayResult) string {
+	if r.Reproduced {
+		return fmt.Sprintf("reproduced (%d violations)", len(r.Violations))
+	}
+	return fmt.Sprintf("not reproduced (%d violations)", len(r.Violations))
+}

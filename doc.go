@@ -29,6 +29,23 @@
 // erdos-renyi, watts-strogatz, barabasi-albert) restrict every protocol to
 // neighborhood communication over a seeded, connected, CSR-backed graph.
 //
+// RunFuzz drives the deterministic scenario-fuzzing engine
+// (internal/scenario, also exposed as cmd/fuzz): from one master seed it
+// derives an unbounded stream of random scenarios — protocol, n, f, d, δ,
+// a topology from the generated families, and an oblivious adversary
+// composed from random schedules (synchronous, rotating stride, skewed),
+// delay policies (fixed, uniform, pairwise, partition) and explicit crash
+// plans (storms, spreads, staggered waves, deliberately over-budget
+// plans) — executes each through the kernel, and checks every run against
+// an invariant-oracle catalog: crash budget ≤ f, delay clamp ∈ [1, d], no
+// post-crash activity, schedule-gap bounds, completion promises
+// re-verified from raw node state, validity, paper-derived message/time
+// envelopes, and sampled pooled ≡ unpooled event-stream equivalence. A
+// violated scenario is shrunk to a minimized repro (smaller n, f,
+// horizon, fewer adversary events, simpler policies — re-executed at
+// every step, never extrapolated) and returned as a replayable
+// ScenarioReport; `cmd/fuzz -repro` re-runs a report file exactly.
+//
 // For ensembles, RunGossipMany and RunConsensusMany fan batches of
 // configurations across a worker pool (Batch.Workers) with results
 // positionally identical to serial loops; the engine behind them — and

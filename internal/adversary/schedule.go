@@ -106,6 +106,61 @@ func (s FixedStride) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.Proc
 	return buf
 }
 
+// SkewedStride is the maximally skewed oblivious schedule: a seeded subset
+// of "slow" processes is scheduled exactly once every δ steps (each at a
+// fixed random phase) while every other process runs at full speed. It
+// realizes the paper's relative-speed pathology in its pure form — some
+// processes persistently δ times slower than the rest — without ever
+// violating the δ bound, which makes it a building block for the scenario
+// fuzzer's randomized adversary matrix (Stride, by redrawing phases,
+// averages the skew away; SkewedStride pins it for the whole run).
+type SkewedStride struct {
+	n      int
+	delta  sim.Time
+	phases []sim.Time // phase of each slow process; -1 marks fast processes
+}
+
+var _ Schedule = (*SkewedStride)(nil)
+
+// NewSkewedStride returns a schedule for n processes with gap bound delta
+// where ~slowFrac of the processes (chosen from the pre-committed stream r)
+// step only once per δ-step period. slowFrac is clamped to [0, 1]; with
+// delta = 1 or slowFrac = 0 the schedule degenerates to EveryStep.
+func NewSkewedStride(n int, delta sim.Time, slowFrac float64, r *rng.RNG) *SkewedStride {
+	if delta < 1 {
+		delta = 1
+	}
+	if slowFrac < 0 {
+		slowFrac = 0
+	}
+	if slowFrac > 1 {
+		slowFrac = 1
+	}
+	s := &SkewedStride{n: n, delta: delta, phases: make([]sim.Time, n)}
+	for p := range s.phases {
+		s.phases[p] = -1
+	}
+	if delta == 1 {
+		return s
+	}
+	slow := int(slowFrac * float64(n))
+	for _, p := range r.Sample(n, slow) {
+		s.phases[p] = sim.Time(r.Intn(int(delta)))
+	}
+	return s
+}
+
+// Append implements Schedule.
+func (s *SkewedStride) Append(t sim.Time, _ sim.View, buf []sim.ProcID) []sim.ProcID {
+	phase := t % s.delta
+	for p := 0; p < s.n; p++ {
+		if s.phases[p] < 0 || s.phases[p] == phase {
+			buf = append(buf, sim.ProcID(p))
+		}
+	}
+	return buf
+}
+
 // SubsetSchedule schedules only the given subset of processes (every step);
 // all other processes are starved. It deliberately violates the δ bound for
 // the starved processes — it models the Theorem 1 adversary's tactic of

@@ -24,7 +24,7 @@ func TestPooledSendReleaseAllocs(t *testing.T) {
 	p.Pool = NewPool(n)
 
 	sender := p.NewTracker(3, NoValue)
-	senderInf := newInformedList(n, p.Pool)
+	senderInf := newInformedList(n, p.Pool, nil)
 	receiver := p.NewTracker(5, NoValue)
 
 	cycle := func(i int) {

@@ -32,7 +32,7 @@ func (EARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		id:            id,
 		n:             p.N,
 		peers:         p.sampler(int(id)),
-		inf:           newInformedList(p.N, p.Pool),
+		inf:           newInformedList(p.N, p.Pool, p.obligationRows(int(id))),
 		shutdownSteps: p.shutdownThreshold(),
 		fanout:        1,
 		pool:          p.Pool,
@@ -187,28 +187,50 @@ func (e *earsNode) InformedHas(rumor, target sim.ProcID) bool {
 // absorbing more informed pairs can only shrink L(p) (recheck uncovered
 // rows only), while learning a new rumor can only grow L(p) (full
 // recompute).
+//
+// On the paper's complete graph the obligation ranges over every row: the
+// process keeps transmitting until I(p) shows each rumor in V(p) sent to
+// each of the n processes, which the process can always force by sampling
+// the missing target itself. On an explicit sparse topology that escape
+// hatch does not exist — a process can only ever send to its neighbors —
+// so the obligation is scoped to the neighborhood (obligated != nil):
+// p sleeps once every neighbor row is covered. Coverage of distant
+// processes follows hop by hop (each process delivers its rumor set to
+// all its neighbors before resting, and learning a new rumor reopens the
+// obligation), which is the property full gossip on a connected graph
+// needs. Scoping is not an optimization: with [n]-wide obligations a node
+// whose distant rows depend on hearsay can transmit forever after every
+// potential informant has gone to sleep — a livelock the scenario fuzzer
+// found on Erdős–Rényi graphs under skewed schedules.
 type informedList struct {
 	n         int
 	m         *bitset.Matrix
-	uncovered *bitset.Set // L(p): rows q with V ⊄ I-row(q)
+	obligated *bitset.Set // rows L(p) may range over; nil = all of [n]
+	uncovered *bitset.Set // L(p): obligated rows q with V ⊄ I-row(q)
 	scratch   []int32     // reusable row buffer for refresh
 }
 
 // newInformedList builds I(p). With a pool, the matrix (the largest object
 // a gossip node snapshots into payloads) and the uncovered-row set draw
-// their buffers from the pool instead of the allocator.
-func newInformedList(n int, pool *Pool) *informedList {
+// their buffers from the pool instead of the allocator. obligated scopes
+// the coverage obligation (nil = every row; see the type comment) and is
+// retained by the informed list, which never mutates it.
+func newInformedList(n int, pool *Pool, obligated *bitset.Set) *informedList {
 	var m *bitset.Matrix
 	var unc *bitset.Set
 	if pool != nil {
 		m = pool.bits.NewMatrix()
 		unc = pool.bits.NewSet()
-		unc.Fill()
 	} else {
 		m = bitset.NewMatrix(n)
-		unc = bitset.NewFull(n)
+		unc = bitset.New(n)
 	}
-	return &informedList{n: n, m: m, uncovered: unc}
+	if obligated == nil {
+		unc.Fill()
+	} else {
+		unc.UnionWith(obligated)
+	}
+	return &informedList{n: n, m: m, obligated: obligated, uncovered: unc}
 }
 
 func (il *informedList) union(other *bitset.Matrix) { il.m.UnionWith(other) }
@@ -218,6 +240,15 @@ func (il *informedList) refresh(v *bitset.Set, vGrew, iGrew bool) {
 	switch {
 	case vGrew:
 		il.uncovered.Clear()
+		if il.obligated != nil {
+			il.obligated.ForEach(func(q int) bool {
+				if !il.m.RowContainsSet(q, v) {
+					il.uncovered.Add(q)
+				}
+				return true
+			})
+			return
+		}
 		for q := 0; q < il.n; q++ {
 			if !il.m.RowContainsSet(q, v) {
 				il.uncovered.Add(q)
@@ -244,7 +275,11 @@ func (il *informedList) markSent(q int, v *bitset.Set) {
 func (il *informedList) covered() bool { return il.uncovered.Empty() }
 
 func (il *informedList) clone() *informedList {
-	return &informedList{n: il.n, m: il.m.Clone(), uncovered: il.uncovered.Clone()}
+	return &informedList{
+		n: il.n, m: il.m.Clone(),
+		obligated: il.obligated, // immutable after construction
+		uncovered: il.uncovered.Clone(),
+	}
 }
 
 // informedSnapshot wraps an optional informed-list snapshot in a payload.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bitset"
 	"repro/internal/topology"
 )
 
@@ -121,6 +122,32 @@ func (p Params) Validate() error {
 // sampler returns the target sampler for process id under p's topology.
 func (p Params) sampler(id int) topology.Sampler {
 	return topology.NewSampler(id, p.N, p.Graph)
+}
+
+// obligationRows returns the informed-list obligation scope for process id:
+// nil on the paper's complete graph — implicit (Graph == nil) or explicit
+// (topology.Complete), which must stay bit-identical — and the neighbor
+// set on a real sparse topology, where a process can only cover rows it
+// can address (see informedList). The set draws from the pool when one is
+// configured and is treated as immutable by its consumers.
+func (p Params) obligationRows(id int) *bitset.Set {
+	if p.Graph == nil {
+		return nil
+	}
+	if _, complete := p.Graph.(topology.Complete); complete {
+		return nil
+	}
+	var s *bitset.Set
+	if p.Pool != nil {
+		s = p.Pool.bits.NewSet()
+	} else {
+		s = bitset.New(p.N)
+	}
+	p.Graph.Neighbors(id, func(q int) bool {
+		s.Add(q)
+		return true
+	})
+	return s
 }
 
 // log2 returns log₂(n) rounded up, at least 1; the discrete stand-in for

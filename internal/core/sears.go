@@ -30,7 +30,7 @@ func (SEARS) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
 		id:      id,
 		n:       p.N,
 		peers:   p.sampler(int(id)),
-		inf:     newInformedList(p.N, p.Pool),
+		inf:     newInformedList(p.N, p.Pool, p.obligationRows(int(id))),
 		// "Each process takes only one shut-down step."
 		shutdownSteps: 1,
 		fanout:        fanout,

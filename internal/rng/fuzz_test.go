@@ -1,0 +1,93 @@
+package rng
+
+import (
+	"testing"
+)
+
+// Native fuzz targets for the zero-allocation sampler variants: the
+// In-place functions must consume exactly the same draws and return
+// exactly the same values as their allocating originals for every
+// (seed, n, k) — the property that lets the hot paths swap them in
+// without perturbing any run. `go test` exercises the seed corpus on
+// every CI run; `go test -fuzz` explores further.
+
+func FuzzSampleInto(f *testing.F) {
+	f.Add(int64(1), 10, 3)
+	f.Add(int64(42), 1, 1)
+	f.Add(int64(-7), 64, 64)
+	f.Add(int64(0), 100, 0)
+	f.Add(int64(99), 5, 9) // k > n: permutation path
+	f.Fuzz(func(t *testing.T, seed int64, n, k int) {
+		n = 1 + abs(n)%256
+		k = abs(k) % (n + 8) // include the k >= n and k = 0 regimes
+		a := New(seed)
+		b := a.Clone()
+		want := a.Sample(n, k)
+		gotBuf := make([]int, 0, 8)
+		got := b.SampleInto(gotBuf, n, k)
+		if !equalInts(want, got) {
+			t.Fatalf("SampleInto(n=%d, k=%d, seed=%d) = %v, Sample = %v", n, k, seed, got, want)
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("SampleInto(n=%d, k=%d, seed=%d) consumed different draws", n, k, seed)
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("sample value %d outside [0, %d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample value %d", v)
+			}
+			seen[v] = true
+		}
+	})
+}
+
+func FuzzPermInto(f *testing.F) {
+	f.Add(int64(1), 10)
+	f.Add(int64(5), 1)
+	f.Add(int64(-3), 255)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		n = abs(n) % 512
+		a := New(seed)
+		b := a.Clone()
+		want := a.Perm(n)
+		got := b.PermInto(make([]int, 0, 4), n)
+		if !equalInts(want, got) {
+			t.Fatalf("PermInto(n=%d, seed=%d) = %v, Perm = %v", n, seed, got, want)
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("PermInto(n=%d, seed=%d) consumed different draws", n, seed)
+		}
+		seen := make([]bool, n)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("not a permutation of [0,%d): %v", n, got)
+			}
+			seen[v] = true
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // math.MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

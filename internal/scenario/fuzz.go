@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/runner"
+)
+
+// Options configures a fuzz session. The zero value runs nothing; set
+// Runs. Results are a pure function of (MasterSeed, FirstIndex, Runs) —
+// Workers only changes wall-clock time, never output.
+type Options struct {
+	// Runs is the number of scenarios to generate and execute.
+	Runs int
+	// MasterSeed keys the scenario stream (see Generate).
+	MasterSeed int64
+	// FirstIndex offsets into the stream; a session over [0, k) and one
+	// over [k, 2k) together equal one session over [0, 2k).
+	FirstIndex int64
+	// Workers caps concurrency (0 = GOMAXPROCS, 1 = serial). Parallel runs
+	// are bit-identical to serial by the runner's determinism contract.
+	Workers int
+	// ShrinkBudget bounds candidate executions per failing scenario
+	// (0 = DefaultShrinkBudget).
+	ShrinkBudget int
+	// Context cancels the session (nil = background). Scenarios not yet
+	// started when it fires are skipped and reported in Summary.Skipped.
+	Context context.Context
+	// OnRun, when non-nil, receives monotone progress (done, total).
+	OnRun func(done, total int)
+}
+
+// Summary aggregates one fuzz session. All counters are deterministic in
+// (MasterSeed, FirstIndex, Runs); Reports appear in scenario-index order.
+type Summary struct {
+	Schema     string `json:"schema"`
+	MasterSeed int64  `json:"master_seed"`
+	FirstIndex int64  `json:"first_index"`
+	Runs       int    `json:"runs"`
+	// Completed counts runs that finished their protocol's promise;
+	// Unpromised counts runs carrying no completion promise (naive).
+	Completed  int `json:"completed"`
+	Unpromised int `json:"unpromised"`
+	// EquivalenceChecked counts runs that executed the unpooled twin.
+	EquivalenceChecked int `json:"equivalence_checked"`
+	// Crashes and Messages total the injected crashes and simulated
+	// messages across the session.
+	Crashes  int64 `json:"crashes"`
+	Messages int64 `json:"messages"`
+	// ByProtocol counts runs per protocol (JSON marshals keys sorted, so
+	// encoded summaries are byte-stable).
+	ByProtocol map[string]int `json:"by_protocol"`
+	// Skipped counts scenarios cancelled before starting.
+	Skipped int `json:"skipped"`
+	// Reports carries one replayable report per violated scenario.
+	Reports []Report `json:"reports,omitempty"`
+}
+
+// SummarySchema identifies the Summary JSON layout.
+const SummarySchema = "repro.fuzz.summary/v1"
+
+// Encode renders the summary as deterministic, indented JSON with a
+// trailing newline. Map keys marshal sorted, so equal summaries are equal
+// bytes — the property behind cmd/fuzz's reproducibility contract.
+func (s *Summary) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// cellOutcome is one scenario's contribution to the summary.
+type cellOutcome struct {
+	protocol   string
+	completed  bool
+	unpromised bool
+	twinRan    bool
+	crashes    int
+	messages   int64
+	report     *Report
+}
+
+// Fuzz generates and executes opts.Runs scenarios, checks every execution
+// against the oracle catalog, shrinks failures, and aggregates a Summary.
+// The session is deterministic: equal options (apart from Workers,
+// Context and OnRun) produce identical summaries, byte for byte once
+// encoded.
+func Fuzz(opts Options) (*Summary, error) {
+	if opts.Runs < 0 {
+		return nil, fmt.Errorf("scenario: Runs = %d", opts.Runs)
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outcomes, errs, _ := runner.Map(ctx, opts.Runs,
+		runner.Options{Workers: opts.Workers, OnCell: opts.OnRun},
+		func(_ context.Context, cell int) (cellOutcome, error) {
+			index := opts.FirstIndex + int64(cell)
+			return fuzzOne(opts.MasterSeed, index, opts.ShrinkBudget)
+		})
+
+	sum := &Summary{
+		Schema:     SummarySchema,
+		MasterSeed: opts.MasterSeed,
+		FirstIndex: opts.FirstIndex,
+		ByProtocol: map[string]int{},
+	}
+	for i, out := range outcomes {
+		if errs[i] != nil {
+			if ctx.Err() != nil && errs[i] == ctx.Err() {
+				sum.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("scenario: run %d: %w", opts.FirstIndex+int64(i), errs[i])
+		}
+		sum.Runs++
+		sum.ByProtocol[out.protocol]++
+		if out.completed {
+			sum.Completed++
+		}
+		if out.unpromised {
+			sum.Unpromised++
+		}
+		if out.twinRan {
+			sum.EquivalenceChecked++
+		}
+		sum.Crashes += int64(out.crashes)
+		sum.Messages += out.messages
+		if out.report != nil {
+			sum.Reports = append(sum.Reports, *out.report)
+		}
+	}
+	return sum, nil
+}
+
+// fuzzOne generates, executes, checks and (on violation) shrinks one
+// scenario. Pure in (master, index, shrinkBudget).
+func fuzzOne(master, index int64, shrinkBudget int) (cellOutcome, error) {
+	spec := Generate(master, index)
+	ex, err := Execute(spec)
+	if err != nil {
+		return cellOutcome{}, err
+	}
+	out := cellOutcome{
+		protocol:   spec.Protocol,
+		completed:  ex.Res.Completed,
+		unpromised: !spec.ExpectComplete,
+		twinRan:    ex.TwinRan,
+		crashes:    ex.Res.Crashes,
+		messages:   ex.Res.Messages,
+	}
+	violations := CheckAll(ex)
+	if len(violations) == 0 {
+		return out, nil
+	}
+	minimized, shrinkRuns := Shrink(spec, violations[0].Oracle, shrinkBudget)
+	out.report = &Report{
+		Schema:     ReportSchema,
+		MasterSeed: master,
+		Index:      index,
+		Label:      spec.Label(),
+		Violations: violations,
+		Spec:       spec,
+		Minimized:  minimized,
+		ShrinkRuns: shrinkRuns,
+	}
+	return out, nil
+}
+
+// Protocols returns the sorted protocol names in the generator's draw
+// table (documentation and CLI help).
+func Protocols() []string {
+	names := make([]string, 0, len(genProtocols))
+	for _, p := range genProtocols {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}

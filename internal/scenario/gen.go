@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/syncgossip"
+	"repro/internal/topology"
+)
+
+// Generation domain. The fuzzer only draws scenarios whose guarantees are
+// actually promised, mirroring the repository's test and benchmark policy:
+//
+//   - The asynchronous protocols (trivial, ears, sears, tears) must
+//     complete on the clique for any oblivious adversary with f < n/2
+//     (the property suite pins exactly this domain).
+//   - Crash failures are drawn only on the complete graph: on a sparse
+//     topology crashes can disconnect the graph, making non-completion a
+//     property of the scenario rather than a bug (the bench suite makes
+//     the same split).
+//   - ears and sears — the protocols that relay until their informed
+//     lists are covered — also run across every generated graph family
+//     with f = 0. tears stays on the clique: its fixed two-hop audience
+//     legitimately under-covers the majority on low-degree graphs (see
+//     the topology draw below).
+//   - The synchronous baselines assume d = δ = 1 and the synchronous
+//     schedule — that knowledge is their defining advantage (Table 1) —
+//     so they are fuzzed only under those parameters, crash-free.
+//   - naive is the paper's §1 ablation and carries no completion promise;
+//     it is fuzzed for safety invariants and its deterministic message
+//     budget only.
+const (
+	genMinN     = 8
+	genMaxN     = 64 // inclusive
+	genMaxD     = 4
+	genMaxDelta = 4
+	// equivalenceEvery samples the pooled≡unpooled twin-run oracle on every
+	// K-th scenario: the twin doubles a run's cost, and the contract it
+	// checks is global (a pooling bug is not scenario-local), so a 1-in-8
+	// sample across thousands of nightly runs is dense coverage.
+	equivalenceEvery = 8
+	// overbudgetNum/Den is the fraction of crash plans that deliberately
+	// list more victims than the budget f, exercising the kernel's budget
+	// enforcement (the crash-budget oracle checks it held).
+	overbudgetNum, overbudgetDen = 1, 5
+)
+
+// genProtocols is the protocol draw table. Weights bias toward the paper's
+// contributions (the asynchronous protocols) while keeping every registered
+// protocol in the matrix.
+var genProtocols = []struct {
+	name   string
+	weight int
+}{
+	{core.NameEARS, 4},
+	{core.NameSEARS, 3},
+	{core.NameTEARS, 3},
+	{core.NameTrivial, 2},
+	{core.NameNaive, 2},
+	{syncgossip.NameSyncEpidemic, 1},
+	{syncgossip.NameSyncDeterministic, 1},
+}
+
+// genSparseFamilies are the generated-graph families drawn for the
+// relay-capable protocols (plus the implicit clique, drawn separately).
+var genSparseFamilies = []string{
+	topology.FamilyRing,
+	topology.FamilyTorus,
+	topology.FamilyRandomRegular,
+	topology.FamilyErdosRenyi,
+	topology.FamilyWattsStrogatz,
+	topology.FamilyBarabasiAlbert,
+}
+
+// Generate derives the index-th scenario of a master seed's stream. It is
+// a pure function of (master, index): the same pair always yields the same
+// Spec, on any machine, regardless of how many runs the surrounding fuzz
+// session performs — which is what makes every failure replayable from two
+// integers.
+func Generate(master, index int64) Spec {
+	r := rng.New(runner.DeriveSeed(master, "scenario", index))
+
+	var s Spec
+	s.Protocol = drawProtocol(r)
+	s.N = genMinN + r.Intn(genMaxN-genMinN+1)
+	s.Seed = r.Int63()
+	s.CheckEquivalence = index%equivalenceEvery == 0
+
+	sync := s.Protocol == syncgossip.NameSyncEpidemic || s.Protocol == syncgossip.NameSyncDeterministic
+	relay := s.Protocol == core.NameEARS || s.Protocol == core.NameSEARS
+
+	// Topology: the clique always; generated families only for protocols
+	// that relay until their informed-lists say everyone is covered (ears,
+	// sears). tears stays on the paper's model: its fixed two-hop audience
+	// structure quiesces after √n·log n-sized pushes, which on low-degree
+	// graphs legitimately under-covers the majority (the fuzzer found
+	// exactly this on rings and tori). trivial has no relay at all; naive
+	// and the sync baselines are fuzzed on the paper's model.
+	if relay && r.Bool(0.4) {
+		s.Topology = genSparseFamilies[r.Intn(len(genSparseFamilies))]
+		s.TopologySeed = r.Int63()
+		if s.Topology == topology.FamilyRandomRegular {
+			s.TopologyParam = float64(4 + 2*r.Intn(3)) // degree 4, 6 or 8
+		}
+	}
+
+	// System parameters.
+	if sync {
+		s.D, s.Delta = 1, 1
+	} else {
+		s.D = 1 + int64(r.Intn(genMaxD))
+		s.Delta = 1 + int64(r.Intn(genMaxDelta))
+	}
+
+	// Failures: only where a crash cannot invalidate the promise.
+	if !sync && s.Topology == "" {
+		s.F = r.Intn(s.N / 2)
+	}
+
+	// Schedule.
+	if sync {
+		s.Schedule = ScheduleSpec{Kind: SchedEvery}
+	} else {
+		switch r.Intn(4) {
+		case 0:
+			s.Schedule = ScheduleSpec{Kind: SchedEvery}
+		case 1:
+			s.Schedule = ScheduleSpec{Kind: SchedStride, Seed: r.Int63()}
+		case 2:
+			s.Schedule = ScheduleSpec{Kind: SchedFixedStride}
+		default:
+			s.Schedule = ScheduleSpec{
+				Kind:     SchedSkewed,
+				SlowFrac: 0.1 + 0.8*r.Float64(),
+				Seed:     r.Int63(),
+			}
+		}
+	}
+
+	// Delay policy.
+	if sync {
+		s.Delay = DelaySpec{Kind: DelayFixed, Value: 1}
+	} else {
+		switch r.Intn(4) {
+		case 0:
+			s.Delay = DelaySpec{Kind: DelayFixed, Value: 1 + int64(r.Intn(int(s.D)))}
+		case 1:
+			s.Delay = DelaySpec{Kind: DelayUniform, Seed: r.Int63()}
+		case 2:
+			s.Delay = DelaySpec{Kind: DelayPairwise, Seed: r.Int63()}
+		default:
+			s.Delay = DelaySpec{Kind: DelayPartition, HealAt: int64(r.Intn(int(healScale(s)) + 1))}
+		}
+	}
+
+	// Crash plan: storms, spreads and staggered waves over an explicit
+	// (time, process) list; occasionally over budget on purpose.
+	s.Crashes = drawCrashPlan(r, s)
+
+	// Horizon, materialized so the shrinker can cut it.
+	s.MaxSteps = int64(sim.DefaultMaxSteps(sim.Config{
+		N: s.N, F: s.F, D: sim.Time(s.D), Delta: sim.Time(s.Delta),
+	}))
+
+	// Promises.
+	s.Majority = s.Protocol == core.NameTEARS
+	s.ExpectComplete = s.Protocol != core.NameNaive
+
+	return s
+}
+
+// drawProtocol picks a protocol from the weighted table.
+func drawProtocol(r *rng.RNG) string {
+	total := 0
+	for _, p := range genProtocols {
+		total += p.weight
+	}
+	k := r.Intn(total)
+	for _, p := range genProtocols {
+		if k < p.weight {
+			return p.name
+		}
+		k -= p.weight
+	}
+	return genProtocols[0].name
+}
+
+// healScale is the time scale for partition heals and crash windows:
+// a few information-spreading epochs, as in adversary.Standard.
+func healScale(s Spec) int64 {
+	l := int64(1)
+	for v := 1; v < s.N; v <<= 1 {
+		l++
+	}
+	return 4 * (s.D + s.Delta) * l
+}
+
+// drawCrashPlan materializes a random crash plan for the spec. The number
+// of victims is the budget f — or deliberately above it for a fraction of
+// plans, so the kernel's budget enforcement is itself under test. With
+// f = 0 and no overbudget draw the plan is empty.
+func drawCrashPlan(r *rng.RNG, s Spec) []CrashEvent {
+	victims := s.F
+	if r.Intn(overbudgetDen) < overbudgetNum {
+		extra := 1 + r.Intn(3)
+		if victims+extra < s.N {
+			victims += extra
+		}
+	}
+	if victims == 0 {
+		return nil
+	}
+	procs := r.Sample(s.N, victims)
+	window := 2 * healScale(s)
+	events := make([]CrashEvent, len(procs))
+	switch r.Intn(3) {
+	case 0: // storm: everyone at one instant
+		t0 := int64(r.Intn(int(window/2) + 1))
+		for i, p := range procs {
+			events[i] = CrashEvent{At: t0, Proc: p}
+		}
+	case 1: // spread: uniform over the window
+		for i, p := range procs {
+			events[i] = CrashEvent{At: int64(r.Intn(int(window) + 1)), Proc: p}
+		}
+	default: // staggered: doubling waves, the ears worst-case shape
+		unit := s.D + s.Delta
+		at, i, remaining := unit, 0, len(procs)
+		for remaining > 0 {
+			wave := (remaining + 1) / 2
+			for k := 0; k < wave; k++ {
+				events[i] = CrashEvent{At: at, Proc: procs[i]}
+				i++
+			}
+			remaining -= wave
+			at *= 2
+		}
+	}
+	return events
+}

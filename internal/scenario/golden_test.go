@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Golden trace digests: one pinned scenario per protocol whose full event
+// stream (every step, send with assigned delay, delivery and crash, in
+// kernel order) is fingerprinted and committed. Any refactor that
+// perturbs a protocol's random draws, the kernel's event ordering, the
+// adversary streams or the topology generators changes a digest and fails
+// here — the cross-protocol generalization of the pinned-baseline tests
+// in topology_api_test.go, at event-level rather than aggregate fidelity.
+//
+// When a change is intentional (a protocol or kernel behavior change),
+// regenerate with:
+//
+//	go test ./internal/scenario -run TestGoldenTraceDigests -regen-digests
+//
+// and commit the new values alongside the change that explains them.
+
+// goldenSpec pins the common scenario shape: the paper's clique, a stride
+// schedule, uniform delays, a spread crash plan — the standard adversary's
+// shape, materialized so the spec is self-contained.
+func goldenSpec(protocol string, n, f int) Spec {
+	return Spec{
+		Protocol: protocol, N: n, F: f, D: 2, Delta: 2,
+		Seed:     1234,
+		MaxSteps: 200000,
+		Schedule: ScheduleSpec{Kind: SchedStride, Seed: 51},
+		Delay:    DelaySpec{Kind: DelayUniform, Seed: 52},
+		Crashes: []CrashEvent{
+			{At: 3, Proc: 1}, {At: 9, Proc: 4}, {At: 17, Proc: 2},
+		},
+	}
+}
+
+var goldenCases = []struct {
+	name   string
+	spec   Spec
+	digest uint64
+	events int64
+}{
+	{name: "trivial", spec: goldenSpec("trivial", 24, 3), digest: 0x63609f8597f45cc2, events: 1171},
+	{name: "ears", spec: goldenSpec("ears", 24, 3), digest: 0x0bc8f4cb5f0fdc73, events: 3634},
+	{name: "sears", spec: goldenSpec("sears", 24, 3), digest: 0x0eed26995b8e8430, events: 3681},
+	{name: "tears", spec: goldenSpec("tears", 24, 3), digest: 0xfaa6d5d023146f8e, events: 3476},
+	{name: "naive", spec: goldenSpec("naive", 24, 3), digest: 0xba2e06b2c4a806a0, events: 2197},
+	{
+		name: "sync-epidemic",
+		spec: Spec{
+			Protocol: "sync-epidemic", N: 24, F: 0, D: 1, Delta: 1,
+			Seed: 1234, MaxSteps: 200000,
+			Schedule: ScheduleSpec{Kind: SchedEvery},
+			Delay:    DelaySpec{Kind: DelayFixed, Value: 1},
+		},
+		digest: 0xd0a3ac70775ab5d5, events: 1824,
+	},
+	{
+		name: "sync-deterministic",
+		spec: Spec{
+			Protocol: "sync-deterministic", N: 24, F: 0, D: 1, Delta: 1,
+			Seed: 1234, MaxSteps: 200000,
+			Schedule: ScheduleSpec{Kind: SchedEvery},
+			Delay:    DelaySpec{Kind: DelayFixed, Value: 1},
+		},
+		digest: 0x4823f234e3627755, events: 2664,
+	},
+	{
+		// ears on a ring also pins the neighborhood-scoped informed-list
+		// obligation (the livelock fix): a regression back to [n]-wide
+		// obligations changes this stream.
+		name: "ears-ring",
+		spec: Spec{
+			Protocol: "ears", N: 24, F: 0, D: 2, Delta: 2,
+			Seed: 1234, MaxSteps: 200000,
+			Topology: topology.FamilyRing,
+			Schedule: ScheduleSpec{Kind: SchedStride, Seed: 51},
+			Delay:    DelaySpec{Kind: DelayUniform, Seed: 52},
+		},
+		digest: 0x8bba757f8b24519a, events: 4272,
+	},
+}
+
+func TestGoldenTraceDigests(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ex, err := Execute(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.RunErr != nil {
+				t.Fatalf("golden scenario failed to run: %v", ex.RunErr)
+			}
+			if vs := CheckAll(ex); len(vs) != 0 {
+				t.Fatalf("golden scenario violates oracles: %+v", vs)
+			}
+			if *regenDigests {
+				t.Logf("{name: %q, digest: %#016x, events: %d}", tc.name, ex.Digest, ex.Events)
+				return
+			}
+			if ex.Digest != tc.digest || ex.Events != tc.events {
+				t.Errorf("event stream drifted: digest %#016x (%d events), committed %#016x (%d events)\n"+
+					"If this change is intentional, regenerate with -regen-digests and commit the new values.",
+					ex.Digest, ex.Events, tc.digest, tc.events)
+			}
+		})
+	}
+}
+
+// regenDigests prints fresh digests instead of comparing (see file comment).
+var regenDigests = flag.Bool("regen-digests", false, "print golden digests instead of asserting them")

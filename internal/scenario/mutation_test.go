@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Mutation testing for the oracle suite itself: re-create a kernel bug via
+// the kernelFault hook and assert the fuzzer catches it, shrinks it, and
+// emits a replayable report. This is the documented answer to "would the
+// oracles actually notice?" — if someone deleted the kernel's crash-budget
+// enforcement, the next fuzz session must fail loudly, not drift.
+//
+// The hook raises the world's crash budget above the spec's F, which is
+// exactly what disabling the budget check in World.stepTime would do: the
+// generator routinely emits crash plans with more victims than F (see
+// drawCrashPlan), the un-mutated kernel ignores the excess, and the
+// mutated kernel crashes them all. The crash-budget oracle — fed by the
+// independent event witness, not by kernel state — must fire.
+
+// disableCrashBudget simulates "crash-budget check disabled": the world
+// accepts every planned crash short of killing all processes. The spec's
+// F (what the oracles hold the run to) is untouched.
+func disableCrashBudget(cfg *sim.Config) {
+	cfg.F = cfg.N - 1
+}
+
+func TestMutationDisabledCrashBudgetIsCaught(t *testing.T) {
+	prev := kernelFault
+	defer func() { kernelFault = prev }()
+	kernelFault = disableCrashBudget
+
+	// Sweep the stream until the generator emits an over-budget crash plan
+	// that the mutated kernel acts on; assert the session reports it.
+	sum, err := Fuzz(Options{Runs: 150, MasterSeed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Reports) == 0 {
+		t.Fatal("mutated kernel survived 150 scenarios: the oracle suite is blind to a disabled crash budget")
+	}
+	var rep *Report
+	for i := range sum.Reports {
+		for _, v := range sum.Reports[i].Violations {
+			if v.Oracle == OracleCrashBudget {
+				rep = &sum.Reports[i]
+			}
+		}
+	}
+	if rep == nil {
+		t.Fatalf("no crash-budget violation among %d reports; first: %+v",
+			len(sum.Reports), sum.Reports[0].Violations)
+	}
+
+	// The shrinker produced a strictly simpler repro that still fails.
+	if rep.Minimized.N > rep.Spec.N {
+		t.Fatalf("minimized repro grew: n %d -> %d", rep.Spec.N, rep.Minimized.N)
+	}
+	if rep.ShrinkRuns == 0 {
+		t.Fatal("shrinker spent no candidate runs")
+	}
+
+	// The report replays: with the mutation still in the build (as a real
+	// kernel bug would be), both the original and minimized specs
+	// reproduce the primary violation.
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimized, original, err := Replay(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !minimized.Reproduced || !original.Reproduced {
+		t.Fatalf("report did not replay: minimized=%v original=%v", minimized, original)
+	}
+}
+
+// TestMutationRepairedKernelReplaysClean: the same report replayed against
+// the healthy kernel no longer reproduces — the violation was the
+// mutation's, not the harness's.
+func TestMutationRepairedKernelReplaysClean(t *testing.T) {
+	prev := kernelFault
+	kernelFault = disableCrashBudget
+	sum, err := Fuzz(Options{Runs: 150, MasterSeed: 1, Workers: 1})
+	kernelFault = prev
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *Report
+	for i := range sum.Reports {
+		for _, v := range sum.Reports[i].Violations {
+			if v.Oracle == OracleCrashBudget && rep == nil {
+				rep = &sum.Reports[i]
+			}
+		}
+	}
+	if rep == nil {
+		t.Skip("no crash-budget report found under mutation")
+	}
+	minimized, _, err := Replay(*rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minimized.Reproduced {
+		t.Fatalf("healthy kernel still violates the crash budget: %+v", minimized.Violations)
+	}
+}

@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/syncgossip"
+)
+
+// Oracle is one pluggable invariant check over a finished execution. Check
+// returns "" when the invariant holds, or a human-readable violation
+// detail. Oracles must be pure observers: deterministic, no mutation.
+type Oracle struct {
+	// Name identifies the oracle in reports and in shrinking (the shrinker
+	// preserves the violated oracle, not just "some failure").
+	Name string
+	// Doc is a one-line description for catalogs and documentation.
+	Doc string
+	// Check judges an execution.
+	Check func(ex *Execution) string
+}
+
+// OracleViolation is one oracle's verdict on one execution.
+type OracleViolation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+// Oracle names. The kernel-witness oracles share names with the checker's
+// rules (sim.Rule*); the rest are scenario-level.
+const (
+	OracleCrashBudget     = sim.RuleCrashBudget
+	OracleDelayClamp      = sim.RuleDelayClamp
+	OraclePostCrash       = sim.RulePostCrash
+	OracleScheduleGap     = sim.RuleScheduleGap
+	OracleEventOrder      = sim.RuleEventOrder
+	OracleCompletion      = "completion"
+	OracleValidity        = "validity"
+	OracleMessageEnvelope = "message-envelope"
+	OracleTimeEnvelope    = "time-envelope"
+	OracleOffEdge         = "off-edge"
+	OraclePoolEquivalence = "pool-equivalence"
+)
+
+// Catalog returns the full oracle catalog, in the order checks run.
+func Catalog() []Oracle {
+	cat := []Oracle{
+		checkerOracle(OracleCrashBudget, "at most f processes crash (kernel budget enforcement)"),
+		checkerOracle(OracleDelayClamp, "every message delay lies in [1, d]"),
+		checkerOracle(OraclePostCrash, "a crashed process never steps, sends, or receives"),
+		checkerOracle(OracleScheduleGap, "no live process is starved past the schedule's gap bound"),
+		checkerOracle(OracleEventOrder, "event times are monotone; deliveries respect ReadyAt"),
+		{
+			Name:  OracleCrashBudget + "-metrics",
+			Doc:   "the kernel's own crash metric agrees with the budget and the witness",
+			Check: checkCrashMetrics,
+		},
+		{
+			Name:  OracleCompletion,
+			Doc:   "scenarios with a completion promise finish, and every correct process holds what the promise requires (verified from node state, not the evaluator)",
+			Check: checkCompletion,
+		},
+		{
+			Name:  OracleValidity,
+			Doc:   "every rumor held anywhere was actually initiated by a process that took a step",
+			Check: checkValidity,
+		},
+		{
+			Name:  OracleMessageEnvelope,
+			Doc:   "message complexity stays within the paper's per-protocol bound times a slack factor",
+			Check: checkMessageEnvelope,
+		},
+		{
+			Name:  OracleTimeEnvelope,
+			Doc:   "time complexity stays within the paper's per-protocol bound times a slack factor",
+			Check: checkTimeEnvelope,
+		},
+		{
+			Name:  OracleOffEdge,
+			Doc:   "topology-aware protocols never send along non-edges",
+			Check: checkOffEdge,
+		},
+		{
+			Name:  OraclePoolEquivalence,
+			Doc:   "a pooled run and its unpooled twin execute identical event streams (sampled)",
+			Check: checkPoolEquivalence,
+		},
+	}
+	return cat
+}
+
+// CheckAll runs the catalog over an execution and returns every violation,
+// in catalog order. An empty slice is a clean run.
+func CheckAll(ex *Execution) []OracleViolation {
+	var out []OracleViolation
+	for _, o := range Catalog() {
+		if detail := o.Check(ex); detail != "" {
+			out = append(out, OracleViolation{Oracle: o.Name, Detail: detail})
+		}
+	}
+	return out
+}
+
+// checkerOracle surfaces the invariant checker's violations of one rule as
+// a scenario oracle: the checker is the independent per-event witness, the
+// oracle gives its verdict a stable name in reports and shrinking.
+func checkerOracle(rule, doc string) Oracle {
+	return Oracle{
+		Name: rule,
+		Doc:  doc,
+		Check: func(ex *Execution) string {
+			for _, v := range ex.Checker.Violations() {
+				if v.Rule == rule {
+					return v.Detail
+				}
+			}
+			return ""
+		},
+	}
+}
+
+// checkCrashMetrics cross-checks three independent crash counts: the
+// spec's budget, the kernel's metric, and the checker's event count.
+func checkCrashMetrics(ex *Execution) string {
+	if ex.Res.Crashes > ex.Spec.F {
+		return fmt.Sprintf("kernel reports %d crashes, budget f=%d", ex.Res.Crashes, ex.Spec.F)
+	}
+	if ex.Res.Crashes != ex.Checker.Crashes() {
+		return fmt.Sprintf("kernel reports %d crashes, event witness saw %d", ex.Res.Crashes, ex.Checker.Crashes())
+	}
+	return ""
+}
+
+// checkCompletion re-verifies the protocol's promise from raw node state.
+// It deliberately re-implements the evaluator's judgment: if the evaluator
+// ever regressed into accepting broken runs, this oracle still fires.
+func checkCompletion(ex *Execution) string {
+	if !ex.Spec.ExpectComplete {
+		return ""
+	}
+	if ex.Res.TimedOut {
+		return fmt.Sprintf("hung: no quiescence within horizon %d (messages=%d)", ex.Spec.MaxSteps, ex.Res.Messages)
+	}
+	if !ex.Res.Completed {
+		return ex.runDetail()
+	}
+	v := ex.view
+	need := v.N()/2 + 1 // majority threshold
+	for p := 0; p < v.N(); p++ {
+		if !v.Alive(sim.ProcID(p)) {
+			continue
+		}
+		h, ok := ex.nodes[p].(core.RumorHolder)
+		if !ok {
+			return fmt.Sprintf("node %d is not a RumorHolder", p)
+		}
+		if ex.Spec.Majority {
+			if got := h.RumorSet().Count(); got < need {
+				return fmt.Sprintf("correct process %d holds %d rumors, majority needs %d", p, got, need)
+			}
+			continue
+		}
+		for r := 0; r < v.N(); r++ {
+			if v.Alive(sim.ProcID(r)) && !h.RumorSet().Test(r) {
+				return fmt.Sprintf("correct process %d lacks rumor of correct process %d", p, r)
+			}
+		}
+	}
+	return ""
+}
+
+// checkValidity verifies no rumor appeared out of thin air: a held rumor's
+// originator must have taken at least one local step (or be the holder).
+func checkValidity(ex *Execution) string {
+	v := ex.view
+	for p := 0; p < v.N(); p++ {
+		h, ok := ex.nodes[p].(core.RumorHolder)
+		if !ok {
+			continue
+		}
+		detail := ""
+		h.RumorSet().ForEach(func(r int) bool {
+			if r != p && v.StepsTaken(sim.ProcID(r)) == 0 {
+				detail = fmt.Sprintf("process %d holds rumor %d, but %d never took a step", p, r, r)
+				return false
+			}
+			return true
+		})
+		if detail != "" {
+			return detail
+		}
+	}
+	return ""
+}
+
+// Envelope slack factors. The paper's bounds are asymptotic with unstated
+// constants; at fuzzing scales (n ≤ 64) the envelopes are calibrated
+// against the repository's measured constants with generous headroom, so
+// they only fire on qualitative regressions (a protocol suddenly sending
+// an extra factor of n, a completion time blowing past its epoch
+// structure) rather than on concentration noise.
+const (
+	msgSlack  = 8.0
+	timeSlack = 12.0
+)
+
+// messageEnvelope returns the message bound for the spec's protocol, per
+// Table 1 of the paper, scaled by msgSlack; returns 0 when no bound
+// applies. Deterministic per-step protocols (trivial, naive, the sync
+// baselines) get exact send-budget caps with no slack: their step budgets
+// are deterministic, so exceeding them is a hard bug.
+func messageEnvelope(s Spec) float64 {
+	n := float64(s.N)
+	surv := float64(s.N - s.F)
+	if surv < 1 {
+		surv = 1
+	}
+	lg := float64(log2(s.N))
+	dd := float64(s.D + s.Delta)
+	switch s.Protocol {
+	case core.NameTrivial:
+		// Each process sends to its sampling universe at most once.
+		return n * n
+	case core.NameNaive:
+		// reps = ⌈6·(n/(n−f))·log₂n⌉ sends per process, at most.
+		return n * math.Ceil(6*n/surv*lg)
+	case syncgossip.NameSyncEpidemic:
+		// fanout 2 per round, rounds = max(2, ⌈3·(n/(n−f))·log₂n⌉).
+		return n * 2 * math.Max(2, math.Ceil(3*n/surv*lg))
+	case syncgossip.NameSyncDeterministic:
+		// degree log₂n per round, rounds = max(2, ⌈2·(n/(n−f))·log₂n⌉).
+		return n * lg * math.Max(2, math.Ceil(2*n/surv*lg))
+	case core.NameEARS:
+		// O(n·log³n·(d+δ)) (Theorem 5).
+		return msgSlack * n * lg * lg * lg * dd
+	case core.NameSEARS:
+		// O(n^{2+ε}/(ε(n−f))·log n·(d+δ)) with ε = 1/2 (Theorem 7).
+		return msgSlack * math.Pow(n, 2.5) / (0.5 * surv) * lg * dd
+	case core.NameTEARS:
+		// O(n^{7/4}·log²n) (Theorem 9).
+		return msgSlack * math.Pow(n, 1.75) * lg * lg
+	}
+	return 0
+}
+
+// timeEnvelope returns the completion-time bound for the spec, scaled by
+// timeSlack; 0 when no bound applies or the run carries no promise.
+func timeEnvelope(s Spec) float64 {
+	n := float64(s.N)
+	surv := float64(s.N - s.F)
+	if surv < 1 {
+		surv = 1
+	}
+	lg := float64(log2(s.N))
+	gap := float64(s.maxGap())
+	dd := float64(s.D) + gap
+	switch s.Protocol {
+	case core.NameTrivial:
+		// One step each, one delivery, one absorbing step: O(d+δ).
+		return timeSlack * (dd + 4)
+	case syncgossip.NameSyncEpidemic:
+		return timeSlack * (math.Max(2, math.Ceil(3*n/surv*lg)) + dd + 4)
+	case syncgossip.NameSyncDeterministic:
+		return timeSlack * (math.Max(2, math.Ceil(2*n/surv*lg)) + dd + 4)
+	case core.NameEARS:
+		// O(n/(n−f)·log²n·(d+δ)) (Theorem 4).
+		return timeSlack * (n/surv*lg*lg*dd + dd + 4)
+	case core.NameSEARS:
+		// O(n/(ε(n−f))·(d+δ)) (Theorem 7); a log factor of headroom.
+		return timeSlack * (n/(0.5*surv)*lg*dd + dd + 4)
+	case core.NameTEARS:
+		// O(d+δ) to majority (Theorem 8); polylog headroom at small n.
+		return timeSlack * (lg*lg*dd + dd + 4)
+	}
+	return 0
+}
+
+func checkMessageEnvelope(ex *Execution) string {
+	bound := messageEnvelope(ex.Spec)
+	if bound <= 0 {
+		return ""
+	}
+	if got := float64(ex.Res.Messages); got > bound {
+		return fmt.Sprintf("%d messages exceed the %s envelope %.0f", ex.Res.Messages, ex.Spec.Protocol, bound)
+	}
+	return ""
+}
+
+func checkTimeEnvelope(ex *Execution) string {
+	// Time bounds quantify completion; a run without the completion
+	// promise (naive) or one that failed it (reported by the completion
+	// oracle) has no meaningful completion time.
+	if !ex.Spec.ExpectComplete || !ex.Res.Completed {
+		return ""
+	}
+	bound := timeEnvelope(ex.Spec)
+	if bound <= 0 {
+		return ""
+	}
+	if got := float64(ex.Res.TimeComplexity); got > bound {
+		return fmt.Sprintf("completion time %d exceeds the %s envelope %.0f", ex.Res.TimeComplexity, ex.Spec.Protocol, bound)
+	}
+	return ""
+}
+
+// checkOffEdge requires topology-aware sampling: every generated protocol
+// draws targets from its neighborhood, so the kernel's non-edge filter
+// must never fire. (sync-deterministic's clique-wide circulant offsets are
+// the known exception; the generator keeps it on the clique.)
+func checkOffEdge(ex *Execution) string {
+	if ex.Res.OffEdgeDrops > 0 {
+		return fmt.Sprintf("%d sends dropped on non-edges of %s", ex.Res.OffEdgeDrops, ex.Spec.Topology)
+	}
+	return ""
+}
+
+// checkPoolEquivalence compares the pooled run's event stream against the
+// unpooled twin's (when the twin ran): pooling must be invisible.
+func checkPoolEquivalence(ex *Execution) string {
+	if !ex.TwinRan {
+		return ""
+	}
+	if ex.Digest != ex.TwinDigest || ex.Events != ex.TwinEvents {
+		return fmt.Sprintf("pooled run digest %016x (%d events) != unpooled %016x (%d events)",
+			ex.Digest, ex.Events, ex.TwinDigest, ex.TwinEvents)
+	}
+	return ""
+}
+
+// log2 returns ⌈log₂ n⌉, at least 1 (the repository's discrete log).
+func log2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ReportSchema identifies the ScenarioReport layout. Bump on breaking
+// changes; Decode validates it exactly.
+const ReportSchema = "repro.fuzz.report/v1"
+
+// Report is the replayable artifact the fuzzer emits for every violated
+// scenario: the coordinates that found it (master seed + index), the
+// oracle verdicts, the original failing spec and its minimized repro. A
+// report is self-contained — Replay needs nothing but the report (and the
+// same code revision) to reproduce the failure bit for bit.
+type Report struct {
+	Schema     string `json:"schema"`
+	MasterSeed int64  `json:"master_seed"`
+	Index      int64  `json:"index"`
+	// Label is the original spec's human-readable summary.
+	Label string `json:"label"`
+	// Violations are the oracle verdicts of the original execution.
+	Violations []OracleViolation `json:"violations"`
+	// Spec is the originally generated failing scenario.
+	Spec Spec `json:"spec"`
+	// Minimized is the shrunk repro, violating Violations[0].Oracle. When
+	// nothing smaller failed the same way it matches Spec except that the
+	// shrinker clears CheckEquivalence for oracles other than
+	// pool-equivalence (the twin run only serves that oracle).
+	Minimized Spec `json:"minimized"`
+	// ShrinkRuns counts the candidate executions the shrinker spent.
+	ShrinkRuns int `json:"shrink_runs"`
+}
+
+// Encode renders the report as deterministic, indented JSON with a
+// trailing newline (stable bytes for CI artifact diffing).
+func (r Report) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReport parses and validates a serialized report.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("scenario: bad report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return Report{}, fmt.Errorf("scenario: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if len(r.Violations) == 0 {
+		return Report{}, fmt.Errorf("scenario: report carries no violations")
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := r.Minimized.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// Filename returns the canonical artifact name for the report.
+func (r Report) Filename() string {
+	return fmt.Sprintf("scenario-%d-%d.json", r.MasterSeed, r.Index)
+}
+
+// ReplayResult is the outcome of re-executing one spec from a report.
+type ReplayResult struct {
+	// Reproduced is true when the spec violates the report's primary
+	// oracle again.
+	Reproduced bool
+	// Violations are the oracle verdicts of the replay.
+	Violations []OracleViolation
+}
+
+// Replay re-executes a report's minimized spec (and, when it differs, the
+// original spec) and reports whether the primary violation reproduces.
+func Replay(r Report) (minimized, original ReplayResult, err error) {
+	primary := r.Violations[0].Oracle
+	minimized, err = replaySpec(r.Minimized, primary)
+	if err != nil {
+		return minimized, original, err
+	}
+	original, err = replaySpec(r.Spec, primary)
+	return minimized, original, err
+}
+
+func replaySpec(s Spec, primaryOracle string) (ReplayResult, error) {
+	ex, err := Execute(s)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	res := ReplayResult{Violations: CheckAll(ex)}
+	for _, v := range res.Violations {
+		if v.Oracle == primaryOracle {
+			res.Reproduced = true
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,299 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestGenerateDeterministic: a spec is a pure function of (master, index),
+// and survives a JSON round trip unchanged (the property reports rely on).
+func TestGenerateDeterministic(t *testing.T) {
+	for index := int64(0); index < 50; index++ {
+		a := Generate(7, index)
+		b := Generate(7, index)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("index %d: Generate is not deterministic:\n%+v\n%+v", index, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("index %d: generated invalid spec: %v", index, err)
+		}
+		data, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("index %d: JSON round trip changed the spec:\n%+v\n%+v", index, a, back)
+		}
+	}
+	if reflect.DeepEqual(Generate(7, 0), Generate(8, 0)) {
+		t.Fatal("different masters generated the same spec")
+	}
+}
+
+// TestGenerateDomain: generated specs stay inside the domain whose
+// guarantees the oracles assume.
+func TestGenerateDomain(t *testing.T) {
+	sawTopo, sawOverbudget, sawSync := false, false, false
+	for index := int64(0); index < 400; index++ {
+		s := Generate(3, index)
+		if s.N < genMinN || s.N > genMaxN {
+			t.Fatalf("index %d: n = %d out of range", index, s.N)
+		}
+		if s.F >= (s.N+1)/2 {
+			t.Fatalf("index %d: f = %d is not a minority of n = %d", index, s.F, s.N)
+		}
+		if s.Topology != "" {
+			sawTopo = true
+			if s.F != 0 {
+				t.Fatalf("index %d: crashes drawn on sparse topology %s", index, s.Topology)
+			}
+			if s.Protocol != "ears" && s.Protocol != "sears" {
+				t.Fatalf("index %d: non-relay protocol %s on topology %s", index, s.Protocol, s.Topology)
+			}
+		}
+		if len(s.Crashes) > s.F {
+			sawOverbudget = true
+		}
+		if strings.HasPrefix(s.Protocol, "sync-") {
+			sawSync = true
+			if s.D != 1 || s.Delta != 1 || s.F != 0 || s.Schedule.Kind != SchedEvery {
+				t.Fatalf("index %d: sync protocol outside the synchronous domain: %+v", index, s)
+			}
+		}
+	}
+	if !sawTopo || !sawOverbudget || !sawSync {
+		t.Fatalf("domain corners unexercised: topo=%v overbudget=%v sync=%v",
+			sawTopo, sawOverbudget, sawSync)
+	}
+}
+
+// TestExecuteDeterministic: executing the same spec twice yields identical
+// event digests, and the sampled unpooled twin agrees (pooled ≡ unpooled).
+func TestExecuteDeterministic(t *testing.T) {
+	for index := int64(0); index < 16; index++ {
+		spec := Generate(11, index)
+		a, err := Execute(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Execute(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest || a.Events != b.Events {
+			t.Fatalf("index %d: digests diverge across identical executions", index)
+		}
+		if a.TwinRan && (a.Digest != a.TwinDigest || a.Events != a.TwinEvents) {
+			t.Fatalf("index %d: pooled and unpooled twins diverge", index)
+		}
+	}
+}
+
+// TestFuzzSmoke: a small session over the default stream is clean — every
+// oracle passes on every scenario — and the summary counters line up.
+func TestFuzzSmoke(t *testing.T) {
+	sum, err := Fuzz(Options{Runs: 120, MasterSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Reports) != 0 {
+		t.Fatalf("clean stream produced %d reports; first: %+v", len(sum.Reports), sum.Reports[0])
+	}
+	if sum.Runs != 120 || sum.Skipped != 0 {
+		t.Fatalf("runs = %d, skipped = %d", sum.Runs, sum.Skipped)
+	}
+	total := 0
+	for _, c := range sum.ByProtocol {
+		total += c
+	}
+	if total != 120 {
+		t.Fatalf("per-protocol counts sum to %d", total)
+	}
+	if sum.EquivalenceChecked == 0 {
+		t.Fatal("no equivalence twins sampled")
+	}
+}
+
+// TestFuzzParallelEqualsSerial: the summary is bit-identical across worker
+// counts once encoded (the determinism contract cmd/fuzz exposes).
+func TestFuzzParallelEqualsSerial(t *testing.T) {
+	serial, err := Fuzz(Options{Runs: 80, MasterSeed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fuzz(Options{Runs: 80, MasterSeed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := serial.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("serial and parallel summaries differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestFuzzFirstIndexPartitions: [0,k) + [k,2k) ≡ [0,2k) — the property the
+// time-boxed CLI mode and stream partitioning rely on.
+func TestFuzzFirstIndexPartitions(t *testing.T) {
+	whole, err := Fuzz(Options{Runs: 60, MasterSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Fuzz(Options{Runs: 30, MasterSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Fuzz(Options{Runs: 30, MasterSeed: 9, FirstIndex: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lo.Messages+hi.Messages, whole.Messages; got != want {
+		t.Fatalf("partitioned sessions saw %d messages, whole session %d", got, want)
+	}
+	if lo.Completed+hi.Completed != whole.Completed {
+		t.Fatal("completion counts do not partition")
+	}
+}
+
+// TestSpecValidateRejects: malformed specs are rejected with useful errors.
+func TestSpecValidateRejects(t *testing.T) {
+	good := Generate(1, 0)
+	cases := []struct {
+		mut  func(*Spec)
+		want string
+	}{
+		{func(s *Spec) { s.Protocol = "nope" }, "unknown protocol"},
+		{func(s *Spec) { s.N = 0 }, "need N >= 1"},
+		{func(s *Spec) { s.F = s.N }, "0 <= F < N"},
+		{func(s *Spec) { s.D = 0 }, "need both >= 1"},
+		{func(s *Spec) { s.Schedule.Kind = "psychic" }, "unknown schedule"},
+		{func(s *Spec) { s.Delay.Kind = "wormhole" }, "unknown delay"},
+		{func(s *Spec) { s.Crashes = []CrashEvent{{At: 0, Proc: s.N}} }, "out-of-range"},
+		{func(s *Spec) { s.Topology = "hypercube-of-doom" }, "unknown family"},
+	}
+	for _, tc := range cases {
+		s := clone(good)
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("mutation expecting %q: got %v", tc.want, err)
+		}
+	}
+}
+
+// TestOracleCatalogShape: the catalog is non-empty, names are unique, and
+// every oracle passes on a known-good execution.
+func TestOracleCatalogShape(t *testing.T) {
+	names := map[string]bool{}
+	for _, o := range Catalog() {
+		if o.Name == "" || o.Doc == "" || o.Check == nil {
+			t.Fatalf("malformed oracle %+v", o)
+		}
+		if names[o.Name] {
+			t.Fatalf("duplicate oracle name %q", o.Name)
+		}
+		names[o.Name] = true
+	}
+	for _, must := range []string{
+		OracleCrashBudget, OracleDelayClamp, OraclePostCrash, OracleScheduleGap,
+		OracleCompletion, OracleValidity, OracleMessageEnvelope, OracleTimeEnvelope,
+		OraclePoolEquivalence,
+	} {
+		if !names[must] {
+			t.Fatalf("catalog lacks the %q oracle", must)
+		}
+	}
+}
+
+// TestOracleCompletionFiresOnUnderDelivery: a scenario engineered to break
+// its promise is caught. tears' two-hop audience under-covers the majority
+// on a ring (the finding that pinned tears to the clique in the generator
+// domain); aimed at the oracle directly, it must fire.
+func TestOracleCompletionFiresOnUnderDelivery(t *testing.T) {
+	spec := Spec{
+		Protocol: "tears", N: 24, F: 0, D: 1, Delta: 1,
+		Seed:     5,
+		Topology: topology.FamilyRing,
+		Schedule: ScheduleSpec{Kind: SchedEvery},
+		Delay:    DelaySpec{Kind: DelayFixed, Value: 1},
+		MaxSteps: 20000,
+		Majority: true, ExpectComplete: true,
+	}
+	ex, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := CheckAll(ex)
+	found := false
+	for _, v := range violations {
+		if v.Oracle == OracleCompletion {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("completion oracle silent on an under-delivering scenario: %+v", violations)
+	}
+}
+
+// TestShrinkNoopOnUnshrinkable: when nothing smaller reproduces, Shrink
+// returns the input unchanged (modulo the equivalence-twin flag).
+func TestShrinkNoopOnUnshrinkable(t *testing.T) {
+	spec := Generate(1, 1) // a passing scenario: no candidate can "still fail"
+	out, runs := Shrink(spec, OracleCompletion, 40)
+	spec.CheckEquivalence = false
+	if !reflect.DeepEqual(out, spec) {
+		t.Fatalf("shrink of an unshrinkable spec changed it:\n%+v\n%+v", spec, out)
+	}
+	if runs > 40 {
+		t.Fatalf("shrink overspent its budget: %d", runs)
+	}
+}
+
+// TestReportRoundTrip: encode/decode preserves a report; decode rejects
+// schema drift and junk.
+func TestReportRoundTrip(t *testing.T) {
+	spec := Generate(1, 2)
+	rep := Report{
+		Schema: ReportSchema, MasterSeed: 1, Index: 2,
+		Label:      spec.Label(),
+		Violations: []OracleViolation{{Oracle: OracleCompletion, Detail: "synthetic"}},
+		Spec:       spec, Minimized: spec, ShrinkRuns: 3,
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report round trip changed it:\n%+v\n%+v", rep, back)
+	}
+	if _, err := DecodeReport([]byte(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := DecodeReport([]byte(`not json`)); err == nil {
+		t.Fatal("junk accepted")
+	}
+	bad := rep
+	bad.Violations = nil
+	data, _ = bad.Encode()
+	if _, err := DecodeReport(data); err == nil {
+		t.Fatal("report without violations accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"reflect"
+
+	"repro/internal/sim"
+)
+
+// The shrinker: given a spec that violates an oracle, greedily search for
+// a smaller spec that still violates the *same* oracle. Candidates shrink
+// along the axes a human debugging the failure would want minimized —
+// fewer processes, fewer failures, a shorter horizon, fewer adversary
+// events, simpler policies — and every candidate is verified by actually
+// re-executing it, so the minimized repro in a ScenarioReport is a real
+// failing run, not an extrapolation. Everything is deterministic: the same
+// (spec, oracle) input always shrinks to the same output.
+
+// DefaultShrinkBudget bounds the number of candidate executions one shrink
+// may spend. Scenarios are small (n ≤ 64), so a few hundred runs keep
+// shrinking under a second while typically reaching a fixpoint much
+// earlier.
+const DefaultShrinkBudget = 250
+
+// minShrinkN is the floor for process-count shrinking; below ~4 processes
+// the protocols degenerate and most failures stop being representative.
+const minShrinkN = 4
+
+// Shrink minimizes spec while preserving a violation of the named oracle.
+// It returns the smallest failing spec found and the number of candidate
+// executions spent. The input spec is assumed to violate the oracle; if
+// nothing smaller fails the same way, the input is returned unchanged.
+func Shrink(spec Spec, oracle string, budget int) (Spec, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	// The pooled≡unpooled twin doubles every candidate's cost and only the
+	// pool-equivalence oracle needs it.
+	if oracle != OraclePoolEquivalence {
+		spec.CheckEquivalence = false
+	}
+	runs := 0
+	stillFails := func(cand Spec) bool {
+		if runs >= budget {
+			return false
+		}
+		cand = normalize(cand)
+		if reflect.DeepEqual(cand, spec) || cand.Validate() != nil {
+			return false
+		}
+		runs++
+		ex, err := Execute(cand)
+		if err != nil {
+			return false
+		}
+		for _, v := range CheckAll(ex) {
+			if v.Oracle == oracle {
+				return true
+			}
+		}
+		return false
+	}
+
+	for runs < budget {
+		progressed := false
+		for _, cand := range candidates(spec) {
+			if stillFails(cand) {
+				spec = normalize(cand)
+				progressed = true
+				break // restart candidate generation from the smaller spec
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return spec, runs
+}
+
+// candidates proposes one round of shrinking transformations, ordered by
+// how much they simplify the repro.
+func candidates(s Spec) []Spec {
+	var out []Spec
+	add := func(mut func(*Spec)) {
+		c := clone(s)
+		mut(&c)
+		out = append(out, c)
+	}
+
+	// Fewer processes: halve, then decrement.
+	if s.N/2 >= minShrinkN {
+		add(func(c *Spec) { c.N = c.N / 2 })
+	}
+	if s.N-1 >= minShrinkN {
+		add(func(c *Spec) { c.N-- })
+	}
+	// Fewer adversary crash events: drop halves, then singles.
+	if k := len(s.Crashes); k > 0 {
+		add(func(c *Spec) { c.Crashes = c.Crashes[:0] })
+		if k > 1 {
+			add(func(c *Spec) { c.Crashes = append([]CrashEvent(nil), c.Crashes[k/2:]...) })
+			add(func(c *Spec) { c.Crashes = append([]CrashEvent(nil), c.Crashes[:k/2]...) })
+		}
+		for i := 0; i < k && i < 8; i++ {
+			i := i
+			add(func(c *Spec) {
+				c.Crashes = append(append([]CrashEvent(nil), c.Crashes[:i]...), c.Crashes[i+1:]...)
+			})
+		}
+	}
+	// Smaller failure budget.
+	if s.F > 0 {
+		add(func(c *Spec) { c.F = 0 })
+		add(func(c *Spec) { c.F = c.F / 2 })
+		add(func(c *Spec) { c.F-- })
+	}
+	// Simpler timing: d, δ, delay and schedule policies.
+	if s.Delta > 1 {
+		add(func(c *Spec) { c.Delta = 1 })
+	}
+	if s.D > 1 {
+		add(func(c *Spec) { c.D = 1 })
+	}
+	if s.Delay.Kind != DelayFixed || s.Delay.Value != 1 {
+		add(func(c *Spec) { c.Delay = DelaySpec{Kind: DelayFixed, Value: 1} })
+	}
+	if s.Schedule.Kind != SchedEvery {
+		add(func(c *Spec) { c.Schedule = ScheduleSpec{Kind: SchedEvery} })
+	}
+	// The paper's model: back to the clique.
+	if s.Topology != "" {
+		add(func(c *Spec) {
+			c.Topology, c.TopologyParam, c.TopologyParam2, c.TopologySeed = "", 0, 0, 0
+		})
+	}
+	// Shorter horizon — but never below the kernel's generous default for
+	// the candidate's own parameters. An unfloored cut would let a slow
+	// but finite run masquerade as hung (any run "hangs" at horizon 1), so
+	// a minimized timeout repro would stop being evidence of a real
+	// livelock.
+	if floor := defaultHorizon(s); s.MaxSteps/2 >= floor {
+		add(func(c *Spec) { c.MaxSteps = c.MaxSteps / 2 })
+	}
+	return out
+}
+
+// defaultHorizon is the kernel's default step budget for the spec's
+// current parameters (recomputed as n, f, d, δ shrink).
+func defaultHorizon(s Spec) int64 {
+	return int64(sim.DefaultMaxSteps(sim.Config{
+		N: s.N, F: s.F, D: sim.Time(s.D), Delta: sim.Time(s.Delta),
+	}))
+}
+
+// clone deep-copies a spec (the crash plan is the only reference field).
+func clone(s Spec) Spec {
+	c := s
+	c.Crashes = append([]CrashEvent(nil), s.Crashes...)
+	return c
+}
+
+// normalize repairs a transformed spec into a valid one: the failure
+// budget stays below the (possibly smaller) process count and crash events
+// for removed processes are dropped.
+func normalize(s Spec) Spec {
+	c := clone(s)
+	if c.F > c.N-1 {
+		c.F = c.N - 1
+	}
+	if c.F < 0 {
+		c.F = 0
+	}
+	kept := c.Crashes[:0]
+	for _, ev := range c.Crashes {
+		if ev.Proc < c.N {
+			kept = append(kept, ev)
+		}
+	}
+	c.Crashes = kept
+	if len(c.Crashes) == 0 {
+		c.Crashes = nil
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Native fuzz target for the CSR sampler's zero-allocation variant:
+// SampleNeighborsInto must return exactly the targets of SampleNeighbors
+// while consuming exactly the same draws, across every graph family,
+// vertex and fan-out. The seed corpus runs on every `go test`; `-fuzz`
+// explores the space.
+
+func FuzzCSRSampleNeighborsInto(f *testing.F) {
+	f.Add(int64(1), int64(7), 0, 0, 2)
+	f.Add(int64(3), int64(9), 1, 5, 8)
+	f.Add(int64(-2), int64(11), 4, 63, 64) // k >= degree: whole-row permutation
+	f.Add(int64(8), int64(0), 2, 17, 0)    // k = 0
+	f.Fuzz(func(t *testing.T, seed, topoSeed int64, famSel, v, k int) {
+		families := []string{
+			FamilyRing, FamilyTorus, FamilyRandomRegular,
+			FamilyErdosRenyi, FamilyWattsStrogatz, FamilyBarabasiAlbert,
+		}
+		fam := families[abs(famSel)%len(families)]
+		n := 8 + abs(v)%57 // 8..64
+		g, err := Build(Spec{Family: fam, N: n, Seed: topoSeed})
+		if err != nil {
+			t.Fatalf("Build(%s, n=%d): %v", fam, n, err)
+		}
+		csr, ok := g.(*CSR)
+		if !ok {
+			t.Fatalf("%s did not build a CSR", fam)
+		}
+		vertex := abs(v) % n
+		fanout := abs(k) % (csr.Degree(vertex) + 4) // cover k > degree
+
+		a := rng.New(seed)
+		b := a.Clone()
+		want := csr.SampleNeighbors(vertex, fanout, a)
+		got := csr.SampleNeighborsInto(make([]int, 0, 2), vertex, fanout, b)
+		if len(want) != len(got) {
+			t.Fatalf("%s n=%d v=%d k=%d: Into returned %d targets, allocating %d",
+				fam, n, vertex, fanout, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s n=%d v=%d k=%d: targets diverge at %d: %v vs %v",
+					fam, n, vertex, fanout, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("%s n=%d v=%d k=%d: draw sequences diverge", fam, n, vertex, fanout)
+		}
+		// Every target is a real neighbor, and distinct.
+		seen := map[int]bool{}
+		for _, q := range got {
+			if !csr.HasEdge(vertex, q) {
+				t.Fatalf("sampled non-neighbor %d of %d", q, vertex)
+			}
+			if seen[q] {
+				t.Fatalf("duplicate target %d", q)
+			}
+			seen[q] = true
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v {
+			return 0
+		}
+		return -v
+	}
+	return v
+}
