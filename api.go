@@ -127,6 +127,10 @@ type GossipConfig struct {
 	// in the result (intended for small N; the drawing is clipped at 160
 	// time steps).
 	Timeline bool
+	// Tracer, when non-nil, observes every simulation event (composes with
+	// Timeline). Attach a telemetry.Recorder or exporter here; tracers are
+	// observation-only and never change the run's outcome.
+	Tracer Tracer
 	// Topology is one of the Topo* constants; empty means the paper's
 	// complete graph (identical results to pre-topology runs for a fixed
 	// seed). Protocols sample targets from their neighborhoods and the
@@ -168,6 +172,9 @@ type GossipResult struct {
 	Messages int64
 	// Bytes approximates total payload bytes (bit-complexity extension).
 	Bytes int64
+	// BytesKnown reports that every message carried a size-reporting
+	// payload, i.e. Bytes is a measurement, not "unreported".
+	BytesKnown bool
 	// Crashes is the number of processes the adversary crashed.
 	Crashes int
 	// Crashed lists the crashed process IDs.
@@ -216,9 +223,13 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 		return nil, err
 	}
 	var tl *trace.Timeline
+	tracer := cfg.Tracer
 	if cfg.Timeline {
 		tl = trace.NewTimeline(cfg.N, 160)
-		w.SetTracer(tl)
+		tracer = sim.Tee(tl, tracer)
+	}
+	if tracer != nil {
+		w.SetTracer(tracer)
 	}
 	res, runErr := w.Run(proto.Evaluator(p.WithDefaults()))
 	out := &GossipResult{
@@ -226,6 +237,7 @@ func RunGossip(cfg GossipConfig) (*GossipResult, error) {
 		TimeSteps:    int64(res.TimeComplexity),
 		Messages:     res.Messages,
 		Bytes:        res.Bytes,
+		BytesKnown:   res.BytesKnown,
 		Crashes:      res.Crashes,
 		OffEdgeDrops: res.OffEdgeDrops,
 	}
@@ -318,6 +330,9 @@ type ConsensusResult struct {
 	Messages int64
 	// Bytes approximates total payload bytes.
 	Bytes int64
+	// BytesKnown reports that every message carried a size-reporting
+	// payload (see GossipResult.BytesKnown).
+	BytesKnown bool
 	// Crashes is the number of crashed processes.
 	Crashes int
 	// MaxRounds is the largest voting-round count over correct processes.
@@ -375,6 +390,7 @@ func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
 		TimeSteps:    int64(res.CompletedAt),
 		Messages:     res.Messages,
 		Bytes:        res.Bytes,
+		BytesKnown:   res.BytesKnown,
 		Crashes:      res.Crashes,
 		Inputs:       inputs,
 		OffEdgeDrops: res.OffEdgeDrops,

@@ -88,6 +88,9 @@ type benchEntry struct {
 	MsgsPerRun  float64 `json:"msgs_per_run"`
 	MsgsStd     float64 `json:"msgs_std"`
 	BytesPerRun float64 `json:"bytes_per_run"`
+	// BytesKnown distinguishes a measured bytes_per_run from payloads that
+	// simply do not report sizes (sim.Result.BytesKnown over the cell).
+	BytesKnown bool `json:"bytes_known,omitempty"`
 	// Harness cost of the cell: wall clock across the whole seed grid and
 	// allocator pressure per run.
 	WallNs           int64   `json:"wall_ns"`
@@ -158,6 +161,7 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "worker pool for each cell's seed grid (0 = GOMAXPROCS)")
 		check   = fs.String("check", "", "validate an existing artifact instead of running the suite")
 		compare = fs.String("compare", "", "baseline artifact to gate against (with a positional NEW.json: compare files without running)")
+		telem   = fs.String("telemetry", "", "directory for pprof CPU/heap profiles and an instrumented sample run (metrics.om, trace.json, run.ndjson)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,6 +202,19 @@ func run(args []string, out io.Writer) error {
 	}
 	if *seeds > 0 {
 		cellSeeds = *seeds
+	}
+
+	// Telemetry capture wraps the whole suite: the CPU profile covers the
+	// cells only — the instrumented sample run happens after prof.stop() so
+	// it never pollutes the profile. All of it is observation-only: cells
+	// and the compare gate are identical with -telemetry on or off.
+	var prof *profiles
+	if *telem != "" {
+		var err error
+		prof, err = startProfiles(*telem)
+		if err != nil {
+			return err
+		}
 	}
 
 	file := benchFile{
@@ -261,6 +278,7 @@ func run(args []string, out io.Writer) error {
 				MsgsPerRun:       m.Messages.Mean,
 				MsgsStd:          m.Messages.Std,
 				BytesPerRun:      m.Bytes.Mean,
+				BytesKnown:       m.BytesKnown,
 				WallNs:           wall.Nanoseconds(),
 				AllocsPerRun:     float64(after.Mallocs-before.Mallocs) / float64(cellSeeds),
 				AllocBytesPerRun: float64(after.TotalAlloc-before.TotalAlloc) / float64(cellSeeds),
@@ -284,6 +302,14 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "bench: wrote %d cells to %s (%s, %d seeds, %d workers)\n",
 		len(file.Results), *outPath, file.Scale, file.Seeds, file.Workers)
+	if prof != nil {
+		if err := prof.stop(); err != nil {
+			return err
+		}
+		if err := captureSampleRun(*telem, out); err != nil {
+			return err
+		}
+	}
 	if *compare != "" {
 		return compareFiles(*compare, &file, out)
 	}
@@ -312,6 +338,14 @@ func loadFile(path string) (*benchFile, error) {
 func checkFile(path string) error {
 	_, err := loadFile(path)
 	return err
+}
+
+// boolMetric maps a bool onto the compare gate's float metric space.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // compareFiles gates fresh results against a committed baseline: exact
@@ -349,6 +383,7 @@ func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
 			{"msgs/run", b.MsgsPerRun, f.MsgsPerRun},
 			{"msgs-std", b.MsgsStd, f.MsgsStd},
 			{"bytes/run", b.BytesPerRun, f.BytesPerRun},
+			{"bytes-known", boolMetric(b.BytesKnown), boolMetric(f.BytesKnown)},
 			{"failures", float64(b.Failures), float64(f.Failures)},
 		}
 		for _, c := range exact {

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// fuzzBenchSchema identifies the BENCH_fuzz.json layout: the nightly fuzz
+// job's telemetry artifact (throughput, violation counts, per-oracle
+// envelope-tightness percentiles). Unlike the stdout summary it carries
+// volatile fields (timestamps, wall clock, runs/sec), so it never
+// participates in the byte-reproducibility contract — CI uploads it as an
+// artifact and validates it with -check.
+const fuzzBenchSchema = "repro.bench.fuzz/v1"
+
+// benchFuzzFile is the artifact layout.
+type benchFuzzFile struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"` // RFC 3339 UTC
+	GoVersion string `json:"go_version"`
+	Mode      string `json:"mode"` // "runs" or "duration"
+
+	// Session identity and deterministic aggregates (mirroring Summary).
+	MasterSeed         int64          `json:"master_seed"`
+	FirstIndex         int64          `json:"first_index"`
+	Runs               int            `json:"runs"`
+	Completed          int            `json:"completed"`
+	Unpromised         int            `json:"unpromised"`
+	EquivalenceChecked int            `json:"equivalence_checked"`
+	Skipped            int            `json:"skipped"`
+	Crashes            int64          `json:"crashes"`
+	Messages           int64          `json:"messages"`
+	ByProtocol         map[string]int `json:"by_protocol"`
+
+	// Violations counts scenarios that violated at least one oracle;
+	// ByOracle counts individual violations per oracle name.
+	Violations int            `json:"violations"`
+	ByOracle   map[string]int `json:"by_oracle,omitempty"`
+
+	// Throughput telemetry (machine-dependent).
+	WallNs     int64   `json:"wall_ns"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+
+	// Envelopes carries per-oracle envelope-tightness percentiles: how
+	// close runs sat to the paper-derived complexity bounds (1.0 = at the
+	// bound). Tracked nightly so tightness drift is visible long before an
+	// envelope oracle actually fires.
+	Envelopes map[string]*scenario.EnvelopeStats `json:"envelopes,omitempty"`
+}
+
+// buildBenchFuzz assembles the artifact from a finished session.
+func buildBenchFuzz(sum *scenario.Summary, mode string, wall time.Duration) *benchFuzzFile {
+	f := &benchFuzzFile{
+		Schema:             fuzzBenchSchema,
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		Mode:               mode,
+		MasterSeed:         sum.MasterSeed,
+		FirstIndex:         sum.FirstIndex,
+		Runs:               sum.Runs,
+		Completed:          sum.Completed,
+		Unpromised:         sum.Unpromised,
+		EquivalenceChecked: sum.EquivalenceChecked,
+		Skipped:            sum.Skipped,
+		Crashes:            sum.Crashes,
+		Messages:           sum.Messages,
+		ByProtocol:         sum.ByProtocol,
+		Violations:         len(sum.Reports),
+		WallNs:             wall.Nanoseconds(),
+		Envelopes:          sum.Envelopes,
+	}
+	if wall > 0 {
+		f.RunsPerSec = float64(sum.Runs) / wall.Seconds()
+	}
+	for i := range sum.Reports {
+		for _, v := range sum.Reports[i].Violations {
+			if f.ByOracle == nil {
+				f.ByOracle = map[string]int{}
+			}
+			f.ByOracle[v.Oracle]++
+		}
+	}
+	return f
+}
+
+// writeBenchFuzz validates and writes the artifact.
+func writeBenchFuzz(path string, f *benchFuzzFile) error {
+	if err := validateBenchFuzz(f); err != nil {
+		return fmt.Errorf("generated artifact is invalid: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// checkBenchFuzz parses and validates an artifact on disk (the -check
+// mode CI runs against the nightly upload).
+func checkBenchFuzz(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFuzzFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validateBenchFuzz(&f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// validateBenchFuzz enforces the schema invariants CI relies on.
+func validateBenchFuzz(f *benchFuzzFile) error {
+	if f.Schema != fuzzBenchSchema {
+		return fmt.Errorf("schema %q, want %q", f.Schema, fuzzBenchSchema)
+	}
+	if _, err := time.Parse(time.RFC3339, f.Generated); err != nil {
+		return fmt.Errorf("generated timestamp: %w", err)
+	}
+	if f.Mode != "runs" && f.Mode != "duration" {
+		return fmt.Errorf("mode %q, want runs|duration", f.Mode)
+	}
+	if f.Runs < 0 || f.Completed < 0 || f.Unpromised < 0 || f.EquivalenceChecked < 0 ||
+		f.Skipped < 0 || f.Crashes < 0 || f.Messages < 0 || f.Violations < 0 {
+		return fmt.Errorf("negative counter")
+	}
+	if f.Completed > f.Runs || f.Unpromised > f.Runs || f.EquivalenceChecked > f.Runs ||
+		f.Violations > f.Runs {
+		return fmt.Errorf("counter exceeds runs=%d", f.Runs)
+	}
+	var byProto int
+	for name, c := range f.ByProtocol {
+		if name == "" || c <= 0 {
+			return fmt.Errorf("by_protocol[%q] = %d", name, c)
+		}
+		byProto += c
+	}
+	if byProto != f.Runs {
+		return fmt.Errorf("by_protocol totals %d, runs = %d", byProto, f.Runs)
+	}
+	if f.Runs > 0 && f.WallNs <= 0 {
+		return fmt.Errorf("wall_ns = %d for a non-empty session", f.WallNs)
+	}
+	if f.RunsPerSec < 0 {
+		return fmt.Errorf("runs_per_sec = %f", f.RunsPerSec)
+	}
+	for oracle, e := range f.Envelopes {
+		if e == nil {
+			return fmt.Errorf("envelopes[%q] is null", oracle)
+		}
+		switch {
+		case e.Count < 0 || int(e.Count) > f.Runs:
+			return fmt.Errorf("envelopes[%q]: count %d out of range", oracle, e.Count)
+		case e.Mean < 0 || e.P50 < 0 || e.P90 < 0 || e.P99 < 0 || e.Max < 0:
+			return fmt.Errorf("envelopes[%q]: negative statistic", oracle)
+		case e.P50 > e.P90 || e.P90 > e.P99:
+			return fmt.Errorf("envelopes[%q]: percentiles not monotone (p50=%g p90=%g p99=%g)",
+				oracle, e.P50, e.P90, e.P99)
+		case e.Count > 0 && e.Mean > e.Max:
+			return fmt.Errorf("envelopes[%q]: mean %g exceeds max %g", oracle, e.Mean, e.Max)
+		}
+	}
+	return nil
+}

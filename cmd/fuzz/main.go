@@ -26,14 +26,26 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
 }
+
+// Progress/watchdog cadence. Progress lines are throttled so a 15-minute
+// nightly session logs a couple hundred lines, not one per scenario; the
+// stall threshold is far beyond any legitimate single scenario (the
+// heaviest generated spec runs in milliseconds).
+const (
+	progressEvery  = 5 * time.Second
+	watchdogScan   = 10 * time.Second
+	stallThreshold = 2 * time.Minute
+)
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
@@ -47,9 +59,20 @@ func run(args []string, stdout io.Writer) int {
 		shrink   = fs.Int("shrink", 0, "shrink budget per failure (0 = default)")
 		repro    = fs.String("repro", "", "replay a ScenarioReport file instead of fuzzing")
 		verbose  = fs.Bool("v", false, "log every failing scenario to stderr as it is found")
+		quiet    = fs.Bool("quiet", false, "suppress periodic progress and watchdog lines on stderr")
+		benchOut = fs.String("bench", "", "write a BENCH_fuzz.json telemetry artifact after the session")
+		check    = fs.String("check", "", "validate a BENCH_fuzz.json artifact instead of fuzzing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *check != "" {
+		if err := checkBenchFuzz(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "fuzz: %s is a valid %s artifact\n", *check, fuzzBenchSchema)
+		return 0
 	}
 	if *repro != "" {
 		return replay(*repro, stdout)
@@ -59,19 +82,48 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
-	if *runs > 0 {
-		sum, err := scenario.Fuzz(scenario.Options{
-			Runs:         *runs,
+	// Session telemetry: throttled progress lines and a stuck-worker
+	// watchdog, both on stderr (stdout carries only the deterministic
+	// summary). -quiet disables both so CI's byte-reproducibility cmp can
+	// capture a silent stderr too.
+	start := time.Now()
+	var prog *progressPrinter
+	var wd *telemetry.Watchdog
+	var indexBase atomic.Int64
+	indexBase.Store(*first)
+	if !*quiet {
+		prog = &progressPrinter{w: os.Stderr, start: start, last: start}
+		wd = telemetry.NewWatchdog()
+		wd.Start(watchdogScan, stallThreshold, func(s telemetry.WorkerStatus) {
+			fmt.Fprintf(os.Stderr, "fuzz: WARNING worker %d stuck on scenario %d for %s\n",
+				s.Worker, indexBase.Load()+int64(s.Cell), s.Busy.Round(time.Second))
+		})
+		defer wd.Stop()
+	}
+	mkOpts := func(n int, firstIndex int64) scenario.Options {
+		o := scenario.Options{
+			Runs:         n,
 			MasterSeed:   *seed,
-			FirstIndex:   *first,
+			FirstIndex:   firstIndex,
 			Workers:      *workers,
 			ShrinkBudget: *shrink,
-		})
+		}
+		if prog != nil {
+			o.Progress = prog.report
+		}
+		if wd != nil {
+			o.Monitor = wd
+		}
+		return o
+	}
+
+	if *runs > 0 {
+		sum, err := scenario.Fuzz(mkOpts(*runs, *first))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 			return 2
 		}
-		return finish(sum, *out, *verbose, stdout)
+		return finish(sum, *out, *verbose, stdout, *benchOut, "runs", time.Since(start))
 	}
 
 	// Time-boxed mode: fixed-size batches through the same deterministic
@@ -87,41 +139,66 @@ func run(args []string, stdout io.Writer) int {
 	}
 	next := *first
 	for time.Now().Before(deadline) {
-		sum, err := scenario.Fuzz(scenario.Options{
-			Runs:         batch,
-			MasterSeed:   *seed,
-			FirstIndex:   next,
-			Workers:      *workers,
-			ShrinkBudget: *shrink,
-		})
+		indexBase.Store(next)
+		sum, err := scenario.Fuzz(mkOpts(batch, next))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 			return 2
 		}
-		merge(total, sum)
+		total.Merge(sum)
+		if prog != nil {
+			prog.advance(sum.Runs, int64(len(sum.Reports)))
+		}
 		next += batch
 	}
-	return finish(total, *out, *verbose, stdout)
+	return finish(total, *out, *verbose, stdout, *benchOut, "duration", time.Since(start))
 }
 
-// merge folds a batch summary into the running total.
-func merge(total, sum *scenario.Summary) {
-	total.Runs += sum.Runs
-	total.Completed += sum.Completed
-	total.Unpromised += sum.Unpromised
-	total.EquivalenceChecked += sum.EquivalenceChecked
-	total.Crashes += sum.Crashes
-	total.Messages += sum.Messages
-	total.Skipped += sum.Skipped
-	for k, v := range sum.ByProtocol {
-		total.ByProtocol[k] += v
+// progressPrinter emits throttled session progress to stderr. Each
+// scenario.Fuzz call reports (done, total) within its own batch, so the
+// printer carries base offsets advanced between batches; callbacks within
+// a batch are serialized by the runner, and batches are sequential, so no
+// locking is needed.
+type progressPrinter struct {
+	w         io.Writer
+	start     time.Time
+	last      time.Time
+	baseRuns  int
+	baseViols int64
+}
+
+// report is the scenario.Options.Progress hook.
+func (p *progressPrinter) report(done, _ int, violations int64) {
+	now := time.Now()
+	if now.Sub(p.last) < progressEvery {
+		return
 	}
-	total.Reports = append(total.Reports, sum.Reports...)
+	p.last = now
+	runs := p.baseRuns + done
+	elapsed := now.Sub(p.start)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(runs) / elapsed.Seconds()
+	}
+	fmt.Fprintf(p.w, "fuzz: progress runs=%d (%.0f/s) violations=%d elapsed=%s\n",
+		runs, rate, p.baseViols+violations, elapsed.Round(time.Second))
 }
 
-// finish prints the deterministic session summary, writes reports, and
-// picks the exit status.
-func finish(sum *scenario.Summary, out string, verbose bool, stdout io.Writer) int {
+// advance shifts the base offsets after a finished batch.
+func (p *progressPrinter) advance(runs int, violations int64) {
+	p.baseRuns += runs
+	p.baseViols += violations
+}
+
+// finish prints the deterministic session summary, writes reports and the
+// optional telemetry artifact, and picks the exit status.
+func finish(sum *scenario.Summary, out string, verbose bool, stdout io.Writer, benchOut, mode string, wall time.Duration) int {
+	if benchOut != "" {
+		if err := writeBenchFuzz(benchOut, buildBenchFuzz(sum, mode, wall)); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 2
+		}
+	}
 	data, err := encodeSummary(sum)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)

@@ -77,6 +77,22 @@
 // the contract into a CI gate: steps, messages and bytes must reproduce
 // bit for bit against the baseline on every change.
 //
+// # Observability
+//
+// internal/telemetry instruments runs without perturbing them: streaming
+// O(1)-per-event samplers (telemetry.Recorder — informed-count and
+// in-flight curves, send-band and delivery-latency histograms, all exactly
+// mergeable across runs) and exporters (OpenMetrics text, Chrome
+// trace-event JSON for Perfetto, NDJSON event logs) ride the same Tracer
+// seam as custom tracers; attach one via GossipConfig.Tracer or compose
+// with sim.Tee. Everything is observation-only — digests, baselines and
+// fuzz output are byte-identical with telemetry on or off — and with no
+// tracer attached the kernel keeps its allocation-free fast path.
+// cmd/bench -telemetry captures pprof profiles plus an instrumented sample
+// run; cmd/fuzz streams progress, watches for stuck workers, and emits a
+// repro.bench.fuzz/v1 artifact with per-oracle envelope-tightness
+// percentiles (-bench / -check).
+//
 // Deeper extension points (custom protocols, adversaries, tracers,
 // graphs) are exposed through type aliases into the internal packages;
 // see Protocol, Adversary, Tracer and Graph.

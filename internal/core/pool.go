@@ -36,6 +36,20 @@ type Pool struct {
 	// costs ~1/64 allocations per object even before anything recycles.
 	paySlab []GossipPayload
 	rumSlab []Rumors
+
+	stats PoolStats
+}
+
+// PoolStats counts pool traffic — telemetry for hit rates and release
+// discipline. Gets = Reuses + cold slab carves; a reuse ratio near 1 means
+// the free lists have reached steady state.
+type PoolStats struct {
+	// PayloadGets counts payload headers handed out; PayloadReuses the
+	// subset served from the free list; PayloadReleases the headers
+	// returned by the final Release.
+	PayloadGets, PayloadReuses, PayloadReleases int64
+	// RumorGets/RumorReuses/RumorReleases are the same for rumor headers.
+	RumorGets, RumorReuses, RumorReleases int64
 }
 
 // poolSlab is the number of headers per slab block.
@@ -68,11 +82,21 @@ func (p *Pool) Gossip(rum *Rumors, inf *bitset.Matrix, flag bool) *GossipPayload
 	return g
 }
 
+// Stats snapshots the pool's traffic counters (zero value on a nil pool).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.stats
+}
+
 func (p *Pool) getPayload() *GossipPayload {
+	p.stats.PayloadGets++
 	if k := len(p.payloads); k > 0 {
 		g := p.payloads[k-1]
 		p.payloads[k-1] = nil
 		p.payloads = p.payloads[:k-1]
+		p.stats.PayloadReuses++
 		return g
 	}
 	if len(p.paySlab) == 0 {
@@ -87,13 +111,16 @@ func (p *Pool) getPayload() *GossipPayload {
 func (p *Pool) putPayload(g *GossipPayload) {
 	g.Rumors, g.Informed.m, g.Flag, g.refs = nil, nil, false, 0
 	p.payloads = append(p.payloads, g)
+	p.stats.PayloadReleases++
 }
 
 func (p *Pool) getRumors() *Rumors {
+	p.stats.RumorGets++
 	if k := len(p.rumors); k > 0 {
 		r := p.rumors[k-1]
 		p.rumors[k-1] = nil
 		p.rumors = p.rumors[:k-1]
+		p.stats.RumorReuses++
 		return r
 	}
 	if len(p.rumSlab) == 0 {
@@ -108,4 +135,5 @@ func (p *Pool) getRumors() *Rumors {
 func (p *Pool) putRumors(r *Rumors) {
 	r.Set, r.Vals = nil, nil
 	p.rumors = append(p.rumors, r)
+	p.stats.RumorReleases++
 }

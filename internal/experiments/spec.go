@@ -90,8 +90,13 @@ type Measurement struct {
 	Time     stats.Summary // paper time complexity (steps)
 	Messages stats.Summary
 	Bytes    stats.Summary
-	Runs     int
-	Failures int // runs whose evaluator rejected or that timed out
+	// BytesKnown reports that every successful run measured real payload
+	// sizes (sim.Result.BytesKnown), distinguishing Bytes = 0 meaning
+	// "zero bytes" from "payloads don't report sizes". False when no run
+	// succeeded.
+	BytesKnown bool
+	Runs       int
+	Failures   int // runs whose evaluator rejected or that timed out
 }
 
 // protoByName resolves asynchronous and synchronous protocols.
@@ -167,6 +172,7 @@ func runMeasureGrid(jobs []gridJob, workers int) ([]Measurement, []error) {
 		}
 		var times, msgs, bytes []float64
 		failures := 0
+		bytesKnown := true
 		for r := 0; r < job.seeds; r++ {
 			res, err := results[cursor], cellErrs[cursor]
 			cursor++
@@ -177,13 +183,15 @@ func runMeasureGrid(jobs []gridJob, workers int) ([]Measurement, []error) {
 			times = append(times, job.timeOf(res))
 			msgs = append(msgs, float64(res.Messages))
 			bytes = append(bytes, float64(res.Bytes))
+			bytesKnown = bytesKnown && res.BytesKnown
 		}
 		ms[i] = Measurement{
-			Time:     stats.Summarize(times),
-			Messages: stats.Summarize(msgs),
-			Bytes:    stats.Summarize(bytes),
-			Runs:     job.seeds,
-			Failures: failures,
+			Time:       stats.Summarize(times),
+			Messages:   stats.Summarize(msgs),
+			Bytes:      stats.Summarize(bytes),
+			BytesKnown: bytesKnown && failures < job.seeds,
+			Runs:       job.seeds,
+			Failures:   failures,
 		}
 		if failures == job.seeds {
 			errs[i] = job.failAll()

@@ -44,6 +44,20 @@ type Options struct {
 	// and done is monotone, but cells complete in scheduling-dependent
 	// order (only results are order-stable).
 	OnCell func(done, total int)
+	// Monitor, when non-nil, observes per-worker cell lifecycle for
+	// heartbeat/progress telemetry (e.g. telemetry.Watchdog). Callbacks
+	// fire on the worker's goroutine and must be cheap and thread-safe.
+	// Monitoring is observation-only: it cannot alter results or ordering.
+	Monitor Monitor
+}
+
+// Monitor observes worker activity in a grid run. CellStart fires on the
+// owning worker's goroutine just before a cell executes; CellDone fires
+// after it finishes (err is the cell's error, including *PanicError).
+// Worker ids are 0..Workers-1 and stable for the run.
+type Monitor interface {
+	CellStart(worker, cell int)
+	CellDone(worker, cell int, err error)
 }
 
 // PanicError wraps a panic recovered from a worker cell, preserving the
@@ -89,10 +103,16 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		progress sync.Mutex   // serializes OnCell and guards done
 		wg       sync.WaitGroup
 	)
-	runCell := func(cell int) {
+	runCell := func(worker, cell int) {
+		if opts.Monitor != nil {
+			opts.Monitor.CellStart(worker, cell)
+		}
 		defer func() {
 			if v := recover(); v != nil {
 				errs[cell] = &PanicError{Value: v, Stack: debug.Stack()}
+			}
+			if opts.Monitor != nil {
+				opts.Monitor.CellDone(worker, cell, errs[cell])
 			}
 			if opts.OnCell != nil {
 				// The counter increments under the same lock that delivers
@@ -107,7 +127,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				cell := int(next.Add(1)) - 1
@@ -118,9 +138,9 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 					errs[cell] = err
 					continue
 				}
-				runCell(cell)
+				runCell(worker, cell)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out, errs, ctx.Err()

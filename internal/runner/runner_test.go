@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -221,5 +222,105 @@ func TestDeriveSeed(t *testing.T) {
 	}
 	if DeriveSeed(0, "ears", 1) == DeriveSeed(1, "ears", 1) {
 		t.Fatal("base does not influence derived seed")
+	}
+}
+
+// recordingMonitor captures Monitor callbacks for assertions.
+type recordingMonitor struct {
+	mu     sync.Mutex
+	starts map[int]int // cell → count
+	dones  map[int]int
+	errs   map[int]error
+	badCD  []int       // cells whose CellDone arrived without a CellStart
+	active map[int]int // worker → currently held cell (-1 when idle)
+}
+
+func newRecordingMonitor() *recordingMonitor {
+	return &recordingMonitor{
+		starts: map[int]int{}, dones: map[int]int{},
+		errs: map[int]error{}, active: map[int]int{},
+	}
+}
+
+func (m *recordingMonitor) CellStart(worker, cell int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.starts[cell]++
+	m.active[worker] = cell
+}
+
+func (m *recordingMonitor) CellDone(worker, cell int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dones[cell]++
+	m.errs[cell] = err
+	if m.active[worker] != cell || m.starts[cell] == 0 {
+		m.badCD = append(m.badCD, cell)
+	}
+	m.active[worker] = -1
+}
+
+func TestMapMonitor(t *testing.T) {
+	const n = 50
+	mon := newRecordingMonitor()
+	boom := errors.New("boom")
+	out, errs, err := Map(context.Background(), n, Options{Workers: 4, Monitor: mon},
+		func(_ context.Context, cell int) (int, error) {
+			switch {
+			case cell == 7:
+				return 0, boom
+			case cell == 13:
+				panic("kaboom")
+			}
+			return cell, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	for cell := 0; cell < n; cell++ {
+		if mon.starts[cell] != 1 || mon.dones[cell] != 1 {
+			t.Errorf("cell %d: starts=%d dones=%d, want 1/1", cell, mon.starts[cell], mon.dones[cell])
+		}
+	}
+	if len(mon.badCD) != 0 {
+		t.Errorf("CellDone without matching CellStart on same worker: cells %v", mon.badCD)
+	}
+	// CellDone sees the cell's final error, including recovered panics.
+	if mon.errs[7] != boom {
+		t.Errorf("cell 7 monitor err = %v, want boom", mon.errs[7])
+	}
+	var pe *PanicError
+	if !errors.As(mon.errs[13], &pe) {
+		t.Errorf("cell 13 monitor err = %v, want *PanicError", mon.errs[13])
+	}
+	// Monitoring is observation-only: results are untouched.
+	for i, v := range out {
+		if i == 7 || i == 13 {
+			continue
+		}
+		if v != i || errs[i] != nil {
+			t.Errorf("cell %d: out=%d err=%v", i, v, errs[i])
+		}
+	}
+}
+
+// TestMapMonitorDeterminism pins that attaching a Monitor cannot change
+// results: same grid, with and without, value for value.
+func TestMapMonitorDeterminism(t *testing.T) {
+	fn := func(_ context.Context, cell int) (int, error) { return cell * 3, nil }
+	plain, _, err := Map(context.Background(), 64, Options{Workers: 8}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, _, err := Map(context.Background(), 64, Options{Workers: 8, Monitor: newRecordingMonitor()}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != mon[i] {
+			t.Fatalf("cell %d differs with monitor attached: %d vs %d", i, plain[i], mon[i])
+		}
 	}
 }

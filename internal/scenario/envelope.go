@@ -1,0 +1,66 @@
+package scenario
+
+import "repro/internal/telemetry"
+
+// EnvelopeStats summarizes how tightly a session's runs sat inside one of
+// the paper-derived complexity envelopes: each contributing run observes
+// the ratio actual/bound (1.0 = exactly at the envelope; the envelope
+// oracles fire above it), and the stats expose deterministic, mergeable
+// percentiles of those ratios. A p99 drifting toward 1 across nightly
+// sessions is the early-warning signal the ROADMAP's envelope-tightness
+// tracking asks for — a complexity regression announcing itself long
+// before the slack factor is actually breached.
+//
+// Determinism: ratios accumulate into a fixed-width histogram, so
+// percentiles are independent of observation order; Mean sums in session
+// index order (and batch order under cmd/fuzz's duration mode), so equal
+// sessions encode to equal bytes.
+type EnvelopeStats struct {
+	// Count is the number of runs the envelope applied to.
+	Count int64 `json:"count"`
+	// Mean is the average tightness ratio.
+	Mean float64 `json:"mean"`
+	// P50/P90/P99 are percentile upper edges of the ratio distribution
+	// (bucket resolution 0.01).
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	// Max is the largest observed ratio.
+	Max float64 `json:"max"`
+
+	hist *telemetry.LinearHist
+}
+
+func newEnvelopeStats() *EnvelopeStats {
+	return &EnvelopeStats{hist: telemetry.NewLinearHist()}
+}
+
+// observe records one run's tightness ratio and refreshes the derived
+// fields.
+func (e *EnvelopeStats) observe(ratio float64) {
+	e.hist.Observe(ratio)
+	e.refresh()
+}
+
+// merge folds another session's stats into this one exactly (histograms
+// add bucket-wise; no percentile-of-percentile approximation).
+func (e *EnvelopeStats) merge(o *EnvelopeStats) {
+	if o == nil || o.hist == nil {
+		return
+	}
+	if e.hist == nil {
+		e.hist = telemetry.NewLinearHist()
+	}
+	e.hist.Merge(o.hist)
+	e.refresh()
+}
+
+// refresh recomputes the exported fields from the histogram.
+func (e *EnvelopeStats) refresh() {
+	e.Count = e.hist.Count()
+	e.Mean = e.hist.Mean()
+	e.P50 = e.hist.Quantile(0.50)
+	e.P90 = e.hist.Quantile(0.90)
+	e.P99 = e.hist.Quantile(0.99)
+	e.Max = e.hist.Max()
+}

@@ -48,13 +48,23 @@ type Execution struct {
 // evaluator rejections, invariant breaches) are data in the Execution,
 // judged by CheckAll.
 func Execute(spec Spec) (*Execution, error) {
+	return ExecuteTraced(spec, nil)
+}
+
+// ExecuteTraced is Execute with an extra observer teed into the primary
+// run's tracer chain — the seam telemetry rides (e.g. telemetry.Recorder,
+// trace.Timeline). The extra tracer observes the pooled run only, never
+// the unpooled twin, and — like all tracers — cannot affect the run: the
+// digest with and without an extra tracer is identical, which the
+// determinism tests pin.
+func ExecuteTraced(spec Spec, extra sim.Tracer) (*Execution, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	ex := &Execution{Spec: spec}
 	chk := sim.NewInvariantChecker(spec.N, spec.F, sim.Time(spec.D), spec.maxGap())
 	dig := sim.NewDigestTracer()
-	view, nodes, res, runErr, err := runOnce(spec, false, sim.Tee(chk, dig))
+	view, nodes, res, runErr, err := runOnce(spec, false, sim.Tee(chk, dig, extra))
 	if err != nil {
 		return nil, err
 	}

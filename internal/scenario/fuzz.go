@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/runner"
 )
@@ -32,6 +33,15 @@ type Options struct {
 	Context context.Context
 	// OnRun, when non-nil, receives monotone progress (done, total).
 	OnRun func(done, total int)
+	// Progress, when non-nil, receives monotone progress plus the running
+	// violation count — the hook behind cmd/fuzz's periodic progress
+	// lines. Calls are serialized; violations counts scenarios whose
+	// oracle check failed among the done ones.
+	Progress func(done, total int, violations int64)
+	// Monitor, when non-nil, observes per-worker cell lifecycle (e.g. a
+	// telemetry.Watchdog spotting stuck scenarios in a long session).
+	// Observation-only: it cannot affect results.
+	Monitor runner.Monitor
 }
 
 // Summary aggregates one fuzz session. All counters are deterministic in
@@ -56,12 +66,17 @@ type Summary struct {
 	ByProtocol map[string]int `json:"by_protocol"`
 	// Skipped counts scenarios cancelled before starting.
 	Skipped int `json:"skipped"`
+	// Envelopes holds per-oracle envelope-tightness percentiles, keyed by
+	// oracle name (OracleMessageEnvelope, OracleTimeEnvelope). A run
+	// contributes the ratio actual/bound whenever the envelope applies.
+	Envelopes map[string]*EnvelopeStats `json:"envelopes,omitempty"`
 	// Reports carries one replayable report per violated scenario.
 	Reports []Report `json:"reports,omitempty"`
 }
 
-// SummarySchema identifies the Summary JSON layout.
-const SummarySchema = "repro.fuzz.summary/v1"
+// SummarySchema identifies the Summary JSON layout. v2 added the
+// envelope-tightness block.
+const SummarySchema = "repro.fuzz.summary/v2"
 
 // Encode renders the summary as deterministic, indented JSON with a
 // trailing newline. Map keys marshal sorted, so equal summaries are equal
@@ -85,6 +100,13 @@ type cellOutcome struct {
 	crashes    int
 	messages   int64
 	report     *Report
+
+	// Envelope tightness ratios (actual/bound); the ok flags mark whether
+	// the corresponding envelope applied to this run.
+	msgTight    float64
+	msgTightOK  bool
+	timeTight   float64
+	timeTightOK bool
 }
 
 // Fuzz generates and executes opts.Runs scenarios, checks every execution
@@ -100,11 +122,25 @@ func Fuzz(opts Options) (*Summary, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var violations atomic.Int64
+	onCell := opts.OnRun
+	if opts.Progress != nil {
+		onCell = func(done, total int) {
+			if opts.OnRun != nil {
+				opts.OnRun(done, total)
+			}
+			opts.Progress(done, total, violations.Load())
+		}
+	}
 	outcomes, errs, _ := runner.Map(ctx, opts.Runs,
-		runner.Options{Workers: opts.Workers, OnCell: opts.OnRun},
+		runner.Options{Workers: opts.Workers, OnCell: onCell, Monitor: opts.Monitor},
 		func(_ context.Context, cell int) (cellOutcome, error) {
 			index := opts.FirstIndex + int64(cell)
-			return fuzzOne(opts.MasterSeed, index, opts.ShrinkBudget)
+			out, err := fuzzOne(opts.MasterSeed, index, opts.ShrinkBudget)
+			if err == nil && out.report != nil {
+				violations.Add(1)
+			}
+			return out, err
 		})
 
 	sum := &Summary{
@@ -134,11 +170,54 @@ func Fuzz(opts Options) (*Summary, error) {
 		}
 		sum.Crashes += int64(out.crashes)
 		sum.Messages += out.messages
+		if out.msgTightOK {
+			sum.envelope(OracleMessageEnvelope).observe(out.msgTight)
+		}
+		if out.timeTightOK {
+			sum.envelope(OracleTimeEnvelope).observe(out.timeTight)
+		}
 		if out.report != nil {
 			sum.Reports = append(sum.Reports, *out.report)
 		}
 	}
 	return sum, nil
+}
+
+// envelope returns (creating on demand) the stats bucket for one oracle.
+func (s *Summary) envelope(oracle string) *EnvelopeStats {
+	if s.Envelopes == nil {
+		s.Envelopes = map[string]*EnvelopeStats{}
+	}
+	e := s.Envelopes[oracle]
+	if e == nil {
+		e = newEnvelopeStats()
+		s.Envelopes[oracle] = e
+	}
+	return e
+}
+
+// Merge folds another session's summary into this one: counters add,
+// per-protocol counts and envelope histograms merge exactly, reports
+// append in order. cmd/fuzz's duration mode chains batches with it; two
+// merged half-sessions equal the whole session.
+func (s *Summary) Merge(o *Summary) {
+	s.Runs += o.Runs
+	s.Completed += o.Completed
+	s.Unpromised += o.Unpromised
+	s.EquivalenceChecked += o.EquivalenceChecked
+	s.Crashes += o.Crashes
+	s.Messages += o.Messages
+	s.Skipped += o.Skipped
+	for k, v := range o.ByProtocol {
+		if s.ByProtocol == nil {
+			s.ByProtocol = map[string]int{}
+		}
+		s.ByProtocol[k] += v
+	}
+	for k, e := range o.Envelopes {
+		s.envelope(k).merge(e)
+	}
+	s.Reports = append(s.Reports, o.Reports...)
 }
 
 // fuzzOne generates, executes, checks and (on violation) shrinks one
@@ -156,6 +235,18 @@ func fuzzOne(master, index int64, shrinkBudget int) (cellOutcome, error) {
 		twinRan:    ex.TwinRan,
 		crashes:    ex.Res.Crashes,
 		messages:   ex.Res.Messages,
+	}
+	if bound := messageEnvelope(spec); bound > 0 {
+		out.msgTight = float64(ex.Res.Messages) / bound
+		out.msgTightOK = true
+	}
+	// Time envelopes quantify completion, so only promised, completed runs
+	// contribute (mirroring checkTimeEnvelope's applicability rule).
+	if spec.ExpectComplete && ex.Res.Completed {
+		if bound := timeEnvelope(spec); bound > 0 {
+			out.timeTight = float64(ex.Res.TimeComplexity) / bound
+			out.timeTightOK = true
+		}
 	}
 	violations := CheckAll(ex)
 	if len(violations) == 0 {

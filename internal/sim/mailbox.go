@@ -27,6 +27,9 @@ type mailbox struct {
 	free   *msgBlock
 
 	allocated int        // blocks ever created (diagnostics)
+	freeN     int        // blocks currently on the free list
+	pending   int64      // undelivered messages across all destinations
+	peak      int64      // high-water mark of pending
 	slab      []msgBlock // fresh blocks are carved from slabs
 
 	scratch []Message // kept-messages buffer reused across drains
@@ -45,6 +48,7 @@ func (mb *mailbox) init(n int) {
 func (mb *mailbox) getBlock() *msgBlock {
 	if b := mb.free; b != nil {
 		mb.free = b.next
+		mb.freeN--
 		b.next = nil
 		return b
 	}
@@ -67,6 +71,7 @@ func (mb *mailbox) putBlock(b *msgBlock) {
 	b.n = 0
 	b.next = mb.free
 	mb.free = b
+	mb.freeN++
 }
 
 // enqueue appends m to its destination's queue.
@@ -86,6 +91,10 @@ func (mb *mailbox) enqueue(m Message) {
 	t.msgs[t.n] = m
 	t.n++
 	mb.counts[to]++
+	mb.pending++
+	if mb.pending > mb.peak {
+		mb.peak = mb.pending
+	}
 }
 
 // count returns the number of undelivered messages destined to p.
@@ -98,6 +107,7 @@ func (mb *mailbox) drain(p int, now Time, inbox []Message) []Message {
 	if mb.counts[p] == 0 {
 		return inbox
 	}
+	before := mb.counts[p]
 	keep := mb.scratch[:0]
 	for b := mb.heads[p]; b != nil; b = b.next {
 		for i := 0; i < b.n; i++ {
@@ -150,6 +160,8 @@ func (mb *mailbox) drain(p int, now Time, inbox []Message) []Message {
 		mb.counts[p] = int32(len(keep))
 	}
 
+	mb.pending -= int64(before - mb.counts[p])
+
 	// Clear the scratch slack so it does not pin delivered payloads, and
 	// keep its grown capacity for the next drain.
 	for i := range keep {
@@ -157,4 +169,27 @@ func (mb *mailbox) drain(p int, now Time, inbox []Message) []Message {
 	}
 	mb.scratch = keep[:0]
 	return inbox
+}
+
+// ArenaStats is a point-in-time reading of the mailbox block arena —
+// telemetry for memory-pressure curves (occupancy, recycling efficacy).
+type ArenaStats struct {
+	// BlocksAllocated counts blocks ever carved from slabs.
+	BlocksAllocated int
+	// BlocksFree counts blocks currently parked on the free list.
+	BlocksFree int
+	// PendingMessages counts undelivered messages across all destinations.
+	PendingMessages int64
+	// PeakPendingMessages is the run's high-water mark of PendingMessages.
+	PeakPendingMessages int64
+}
+
+// stats snapshots the arena counters.
+func (mb *mailbox) stats() ArenaStats {
+	return ArenaStats{
+		BlocksAllocated:     mb.allocated,
+		BlocksFree:          mb.freeN,
+		PendingMessages:     mb.pending,
+		PeakPendingMessages: mb.peak,
+	}
 }

@@ -11,6 +11,10 @@ type Metrics struct {
 	// Bytes is the total approximate payload bytes for payloads
 	// implementing Sizer; 0 for protocols that do not report sizes.
 	Bytes int64
+	// SizedMessages counts the sent messages whose payload implemented
+	// Sizer and therefore contributed to Bytes. Bytes is trustworthy
+	// exactly when SizedMessages == Messages.
+	SizedMessages int64
 	// SentBy counts messages per sending process.
 	SentBy []int64
 	// DeliveredTo counts messages delivered per receiving process.
@@ -76,6 +80,12 @@ type Result struct {
 	Messages int64
 	// Bytes is total payload bytes (see Metrics.Bytes).
 	Bytes int64
+	// BytesKnown reports that every sent message carried a Sizer payload,
+	// i.e. Bytes is a real measurement rather than "unreported". It
+	// distinguishes a genuinely zero-byte run from a protocol whose
+	// payloads simply do not implement Sizer (vacuously true when no
+	// messages were sent).
+	BytesKnown bool
 	// Crashes is the number of crashed processes.
 	Crashes int
 	// OffEdgeDrops counts sends dropped for lack of a topology edge.

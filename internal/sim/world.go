@@ -126,6 +126,10 @@ func (w *World) Graph() topology.Graph { return w.cfg.Graph }
 // Metrics exposes the accumulated metrics (read-only use).
 func (w *World) Metrics() *Metrics { return w.metrics }
 
+// ArenaStats snapshots the mailbox block arena — telemetry for memory
+// pressure and recycling efficacy (observation-only, cheap).
+func (w *World) ArenaStats() ArenaStats { return w.box.stats() }
+
 // Config returns the world configuration.
 func (w *World) Config() Config { return w.cfg }
 
@@ -149,6 +153,7 @@ func (w *World) Run(eval Evaluator) (Result, error) {
 	res.LastSendAt = w.metrics.LastSendAt
 	res.Messages = w.metrics.Messages
 	res.Bytes = w.metrics.Bytes
+	res.BytesKnown = w.metrics.SizedMessages == w.metrics.Messages
 	res.Crashes = w.metrics.Crashes
 	res.OffEdgeDrops = w.metrics.OffEdgeDrops
 	if !quiet {
@@ -247,6 +252,7 @@ func (w *World) stepProcess(p ProcID) error {
 		w.metrics.LastSendAt = w.now
 		if s, ok := m.Payload.(Sizer); ok {
 			w.metrics.Bytes += int64(s.SizeBytes())
+			w.metrics.SizedMessages++
 		}
 		if obs, ok := w.adv.(SendObserver); ok {
 			obs.ObserveSend(m)

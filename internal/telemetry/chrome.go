@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// ChromeTracer is a sim.Tracer that records a run as Chrome trace-event
+// JSON: load the output at ui.perfetto.dev (or chrome://tracing) and the
+// run appears as a real space–time diagram — one track per process, a
+// slice per local step, instant markers for crashes, and flow arrows from
+// each send to its delivery. Simulated time is mapped 1 step = 1 ms so
+// the viewer's zoom levels behave sensibly.
+//
+// This exporter is deliberately heavyweight (it buffers every event in
+// memory): attach it to individual runs you want to inspect, not to
+// campaigns. Events beyond maxEvents are counted but dropped, so a
+// runaway run caps memory instead of exhausting it.
+type ChromeTracer struct {
+	maxEvents int
+	events    []chromeEvent
+	dropped   int64
+	procs     map[int]bool
+
+	// pending maps an in-flight message key to the flow id assigned at
+	// send time, FIFO per key to mirror the kernel's mailbox order.
+	pending map[msgKey][]int64
+	nextID  int64
+}
+
+type msgKey struct {
+	from, to sim.ProcID
+	sentAt   sim.Time
+	readyAt  sim.Time
+}
+
+// chromeEvent is one trace-event object. Fields follow the Trace Event
+// Format spec; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   int64           `json:"ts"`
+	Dur  int64           `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	ID   int64           `json:"id,omitempty"`
+	S    string          `json:"s,omitempty"`
+	BP   string          `json:"bp,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+const (
+	chromePid = 1 // all processes share one "process" track group
+	// stepUS maps one simulated step to 1000 µs (1 ms) of viewer time.
+	stepUS = 1000
+	// stepDurUS is the drawn width of a step slice: slightly narrower than
+	// the step so adjacent steps don't fuse visually.
+	stepDurUS = 800
+)
+
+// NewChromeTracer returns a tracer retaining at most maxEvents events
+// (≤ 0 means a 200k default, roughly a 25 MB JSON file).
+func NewChromeTracer(maxEvents int) *ChromeTracer {
+	if maxEvents <= 0 {
+		maxEvents = 200_000
+	}
+	return &ChromeTracer{
+		maxEvents: maxEvents,
+		procs:     make(map[int]bool),
+		pending:   make(map[msgKey][]int64),
+	}
+}
+
+func (c *ChromeTracer) add(e chromeEvent) {
+	if len(c.events) >= c.maxEvents {
+		c.dropped++
+		return
+	}
+	c.procs[e.Tid] = true
+	c.events = append(c.events, e)
+}
+
+// OnStep implements sim.Tracer.
+func (c *ChromeTracer) OnStep(p sim.ProcID, t sim.Time) {
+	c.add(chromeEvent{
+		Name: "step", Ph: "X",
+		Ts: int64(t) * stepUS, Dur: stepDurUS,
+		Pid: chromePid, Tid: int(p),
+	})
+}
+
+// OnSend implements sim.Tracer. A flow id is minted per message and
+// resolved FIFO at delivery, matching the kernel's per-link ordering.
+func (c *ChromeTracer) OnSend(m sim.Message) {
+	c.nextID++
+	id := c.nextID
+	k := msgKey{m.From, m.To, m.SentAt, m.ReadyAt}
+	c.pending[k] = append(c.pending[k], id)
+	c.add(chromeEvent{
+		Name: "msg", Ph: "s",
+		Ts:  int64(m.SentAt)*stepUS + stepDurUS/2,
+		Pid: chromePid, Tid: int(m.From), ID: id,
+	})
+}
+
+// OnDeliver implements sim.Tracer.
+func (c *ChromeTracer) OnDeliver(m sim.Message, t sim.Time) {
+	k := msgKey{m.From, m.To, m.SentAt, m.ReadyAt}
+	q := c.pending[k]
+	if len(q) == 0 {
+		return // delivery without observed send (tracer attached mid-run)
+	}
+	id := q[0]
+	if len(q) == 1 {
+		delete(c.pending, k)
+	} else {
+		c.pending[k] = q[1:]
+	}
+	c.add(chromeEvent{
+		Name: "msg", Ph: "f", BP: "e",
+		Ts:  int64(t)*stepUS + stepDurUS/2,
+		Pid: chromePid, Tid: int(m.To), ID: id,
+	})
+}
+
+// OnCrash implements sim.Tracer.
+func (c *ChromeTracer) OnCrash(p sim.ProcID, t sim.Time) {
+	c.add(chromeEvent{
+		Name: "crash", Ph: "i", S: "t",
+		Ts:  int64(t) * stepUS,
+		Pid: chromePid, Tid: int(p),
+	})
+}
+
+// Dropped reports how many events exceeded the retention cap.
+func (c *ChromeTracer) Dropped() int64 { return c.dropped }
+
+// Write writes the collected trace as a Chrome trace-event JSON object,
+// including thread-name metadata so Perfetto labels each track "p<i>".
+func (c *ChromeTracer) Write(w io.Writer) error {
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]chromeEvent, 0, len(c.events)+len(c.procs))
+	for tid := range c.procs {
+		name, _ := json.Marshal(struct {
+			Name string `json:"name"`
+		}{Name: procName(tid)})
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid, Args: name,
+		})
+	}
+	// Metadata order must be deterministic; map iteration is not.
+	sortMeta(out.TraceEvents)
+	out.TraceEvents = append(out.TraceEvents, c.events...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// procName renders a track label for process tid.
+func procName(tid int) string {
+	// Small, allocation-tolerant (export path only).
+	const digits = "0123456789"
+	if tid == 0 {
+		return "p0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	neg := tid < 0
+	if neg {
+		tid = -tid
+	}
+	for tid > 0 {
+		i--
+		buf[i] = digits[tid%10]
+		tid /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return "p" + string(buf[i:])
+}
+
+// sortMeta orders metadata events by Tid (insertion sort; few entries).
+func sortMeta(evs []chromeEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Tid < evs[j-1].Tid; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+// Curve is a bounded streaming time series: it records a gauge sampled at
+// monotone (or near-monotone) integer times into at most maxSlots slots.
+// When the observed time range outgrows the slot budget the curve doubles
+// its stride and compacts in place, so memory stays O(maxSlots) no matter
+// how long the run is — a 10⁶-step run costs the same as a 10²-step one,
+// which is what lets a Recorder ride along on every run of a campaign.
+//
+// Within one slot the curve keeps the sum and count of observations; a
+// slot's value reads out as the mean, which for a piecewise-constant
+// gauge sampled at every change is the time-weighted-ish envelope we
+// want for plotting. Curves with different strides merge by first
+// coarsening the finer one.
+type Curve struct {
+	maxSlots int
+	stride   int64 // width of one slot in time units, power of two
+	slots    []curveSlot
+}
+
+type curveSlot struct {
+	sum float64
+	n   int64
+}
+
+// Point is one rendered point of a Curve: the slot's start time and the
+// mean of the observations that landed in it.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// NewCurve returns a curve bounded to maxSlots slots (minimum 16).
+func NewCurve(maxSlots int) *Curve {
+	if maxSlots < 16 {
+		maxSlots = 16
+	}
+	return &Curve{
+		maxSlots: maxSlots,
+		stride:   1,
+		slots:    make([]curveSlot, 0, maxSlots),
+	}
+}
+
+// Stride reports the current slot width in time units.
+func (c *Curve) Stride() int64 { return c.stride }
+
+// Observe records gauge value v at time t. Negative times are ignored.
+func (c *Curve) Observe(t int64, v float64) {
+	if t < 0 {
+		return
+	}
+	idx := t / c.stride
+	for idx >= int64(c.maxSlots) {
+		c.compact()
+		idx = t / c.stride
+	}
+	for int64(len(c.slots)) <= idx {
+		c.slots = append(c.slots, curveSlot{})
+	}
+	c.slots[idx].sum += v
+	c.slots[idx].n++
+}
+
+// compact doubles the stride, folding slot pairs together in place.
+func (c *Curve) compact() {
+	half := (len(c.slots) + 1) / 2
+	for i := 0; i < half; i++ {
+		s := c.slots[2*i]
+		if 2*i+1 < len(c.slots) {
+			s.sum += c.slots[2*i+1].sum
+			s.n += c.slots[2*i+1].n
+		}
+		c.slots[i] = s
+	}
+	c.slots = c.slots[:half]
+	c.stride *= 2
+}
+
+// Merge folds another curve into this one. The coarser stride wins: the
+// finer curve's slots are rebinned before adding, so merged campaigns keep
+// exact sums and counts regardless of per-run compaction history.
+func (c *Curve) Merge(o *Curve) {
+	if o == nil || len(o.slots) == 0 {
+		return
+	}
+	for c.stride < o.stride {
+		c.compact()
+	}
+	for i, s := range o.slots {
+		if s.n == 0 {
+			continue
+		}
+		t := int64(i) * o.stride
+		idx := t / c.stride
+		for idx >= int64(c.maxSlots) {
+			c.compact()
+			idx = t / c.stride
+		}
+		for int64(len(c.slots)) <= idx {
+			c.slots = append(c.slots, curveSlot{})
+		}
+		c.slots[idx].sum += s.sum
+		c.slots[idx].n += s.n
+	}
+}
+
+// Points renders the curve as (slot start time, slot mean) pairs, skipping
+// empty slots.
+func (c *Curve) Points() []Point {
+	pts := make([]Point, 0, len(c.slots))
+	for i, s := range c.slots {
+		if s.n == 0 {
+			continue
+		}
+		pts = append(pts, Point{T: int64(i) * c.stride, V: s.sum / float64(s.n)})
+	}
+	return pts
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import "math/bits"
+
+// histBuckets bounds a power-of-two Histogram: bucket 0 holds values ≤ 0,
+// bucket i (i ≥ 1) holds values in (2^(i-2), 2^(i-1)]. 64 buckets cover
+// the whole int64 range.
+const histBuckets = 64
+
+// Histogram is a mergeable power-of-two histogram over int64 observations.
+// Fixed size, allocation-free Observe, exact bucket-wise Merge. Quantile
+// readout returns a bucket upper bound, which is deterministic and
+// merge-order-independent — the property BENCH_fuzz.json needs.
+type Histogram struct {
+	counts       [histBuckets]int64
+	count        int64
+	sum          int64
+	min, max     int64
+	haveExtremes bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1 + bits.Len64(uint64(v-1))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// upperBound is the inclusive upper edge of bucket i.
+func upperBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // max int64
+	}
+	return int64(1) << (i - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if !h.haveExtremes {
+		h.min, h.max = v, v
+		h.haveExtremes = true
+		return
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds another histogram's buckets into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if !h.haveExtremes {
+		h.min, h.max = o.min, o.max
+		h.haveExtremes = true
+	} else {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 ≤ q ≤ 1) of the observations, or 0 if empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return upperBound(i)
+		}
+	}
+	return upperBound(histBuckets - 1)
+}
+
+// HistSnapshot is the exportable view of a Histogram.
+type HistSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	// Buckets lists (upper bound, cumulative count) pairs for non-empty
+	// prefixes, in OpenMetrics "le" style.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one cumulative bucket of a HistSnapshot.
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot captures counts, extremes and standard quantiles.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if h.haveExtremes {
+		s.Min, s.Max = h.min, h.max
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum = 0
+		for j := 0; j <= i; j++ {
+			cum += h.counts[j]
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: upperBound(i), Count: cum})
+	}
+	return s
+}
+
+// linearWidth and linearBuckets shape LinearHist: 200 buckets of width
+// 0.01 cover ratios in [0, 2), one overflow bucket catches the rest.
+// Envelope-tightness ratios (actual/bound) live almost entirely in [0, 1];
+// anything ≥ 2 is a gross violation and lands in the overflow bucket.
+const (
+	linearWidth   = 0.01
+	linearBuckets = 201
+)
+
+// LinearHist is a mergeable fixed-width histogram over small non-negative
+// float ratios, built for envelope-tightness percentiles: two campaigns
+// merged in any order yield identical quantiles, because the buckets are
+// fixed and quantiles read out as bucket upper edges.
+type LinearHist struct {
+	counts [linearBuckets]int64
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// NewLinearHist returns an empty linear histogram.
+func NewLinearHist() *LinearHist { return &LinearHist{} }
+
+// Observe records one ratio. Negative values clamp to 0.
+func (h *LinearHist) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / linearWidth)
+	if i >= linearBuckets {
+		i = linearBuckets - 1
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds another histogram's buckets into this one.
+func (h *LinearHist) Merge(o *LinearHist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count reports the number of observations.
+func (h *LinearHist) Count() int64 { return h.count }
+
+// Sum reports the running sum of observations.
+func (h *LinearHist) Sum() float64 { return h.sum }
+
+// Max reports the largest observation (0 if empty).
+func (h *LinearHist) Max() float64 { return h.max }
+
+// Mean reports the average observation (0 if empty).
+func (h *LinearHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the upper edge of the bucket containing the q-th
+// quantile, or 0 if empty. The overflow bucket reads as the observed max.
+func (h *LinearHist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i == linearBuckets-1 {
+				return h.max
+			}
+			return float64(i+1) * linearWidth
+		}
+	}
+	return h.max
+}

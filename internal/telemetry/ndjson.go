@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// NDJSONTracer is a sim.Tracer that streams every simulation event as one
+// JSON object per line — the structured counterpart of the ASCII timeline,
+// suitable for ad-hoc jq analysis or replay into other tools. It buffers
+// internally; call Flush (or Close) before reading the output.
+//
+// This exporter is deliberately heavyweight (one encode per event): attach
+// it to runs you want to dissect, not to whole campaigns.
+type NDJSONTracer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+var _ sim.Tracer = (*NDJSONTracer)(nil)
+
+// ndjsonEvent is the line schema. Kind is "step", "send", "deliver" or
+// "crash"; the message fields are present only for send/deliver.
+type ndjsonEvent struct {
+	Kind    string `json:"kind"`
+	T       int64  `json:"t"`
+	Proc    int    `json:"proc"`
+	Peer    *int   `json:"peer,omitempty"`
+	SentAt  *int64 `json:"sent_at,omitempty"`
+	ReadyAt *int64 `json:"ready_at,omitempty"`
+}
+
+// NewNDJSONTracer returns a tracer writing NDJSON lines to w.
+func NewNDJSONTracer(w io.Writer) *NDJSONTracer {
+	bw := bufio.NewWriter(w)
+	return &NDJSONTracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (t *NDJSONTracer) emit(e ndjsonEvent) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// OnStep implements sim.Tracer.
+func (t *NDJSONTracer) OnStep(p sim.ProcID, at sim.Time) {
+	t.emit(ndjsonEvent{Kind: "step", T: int64(at), Proc: int(p)})
+}
+
+// OnSend implements sim.Tracer.
+func (t *NDJSONTracer) OnSend(m sim.Message) {
+	peer := int(m.To)
+	sent, ready := int64(m.SentAt), int64(m.ReadyAt)
+	t.emit(ndjsonEvent{Kind: "send", T: int64(m.SentAt), Proc: int(m.From),
+		Peer: &peer, SentAt: &sent, ReadyAt: &ready})
+}
+
+// OnDeliver implements sim.Tracer.
+func (t *NDJSONTracer) OnDeliver(m sim.Message, at sim.Time) {
+	peer := int(m.From)
+	sent := int64(m.SentAt)
+	t.emit(ndjsonEvent{Kind: "deliver", T: int64(at), Proc: int(m.To),
+		Peer: &peer, SentAt: &sent})
+}
+
+// OnCrash implements sim.Tracer.
+func (t *NDJSONTracer) OnCrash(p sim.ProcID, at sim.Time) {
+	t.emit(ndjsonEvent{Kind: "crash", T: int64(at), Proc: int(p)})
+}
+
+// Flush drains the internal buffer and reports the first error seen.
+func (t *NDJSONTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// WriteSnapshotNDJSON writes a Snapshot as NDJSON: one "snapshot" line
+// with the scalars, then one "point" line per curve sample — a shape that
+// streams into plotting pipelines without loading the whole object.
+func WriteSnapshotNDJSON(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	head := struct {
+		Kind     string       `json:"kind"`
+		Snapshot snapshotJSON `json:"snapshot"`
+	}{Kind: "snapshot", Snapshot: snapshotJSON{
+		Processes:   snap.Processes,
+		Steps:       snap.Steps,
+		Sends:       snap.Sends,
+		Delivers:    snap.Delivers,
+		Crashes:     snap.Crashes,
+		Reached:     snap.Reached,
+		InFlight:    snap.InFlight,
+		MaxInFlight: snap.MaxInFlight,
+		LastEventAt: int64(snap.LastEventAt),
+		SendBand:    snap.SendBand,
+		Latency:     snap.Latency,
+	}}
+	if err := enc.Encode(head); err != nil {
+		return err
+	}
+	writeCurve := func(name string, pts []Point) error {
+		for _, p := range pts {
+			line := struct {
+				Kind  string  `json:"kind"`
+				Curve string  `json:"curve"`
+				T     int64   `json:"t"`
+				V     float64 `json:"v"`
+			}{Kind: "point", Curve: name, T: p.T, V: p.V}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeCurve("reach", snap.ReachCurve); err != nil {
+		return err
+	}
+	if err := writeCurve("inflight", snap.InFlightCurve); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// snapshotJSON is the serialized form of Snapshot's scalar fields.
+type snapshotJSON struct {
+	Processes   int          `json:"processes"`
+	Steps       int64        `json:"steps"`
+	Sends       int64        `json:"sends"`
+	Delivers    int64        `json:"delivers"`
+	Crashes     int64        `json:"crashes"`
+	Reached     int64        `json:"reached"`
+	InFlight    int64        `json:"inflight"`
+	MaxInFlight int64        `json:"max_inflight"`
+	LastEventAt int64        `json:"last_event_at"`
+	SendBand    HistSnapshot `json:"send_band"`
+	Latency     HistSnapshot `json:"latency"`
+}
