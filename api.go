@@ -14,7 +14,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/syncgossip"
 	"repro/internal/topology"
-	"repro/internal/trace"
 )
 
 // Aliases into the model layer, for users extending the library with
@@ -189,75 +188,17 @@ type GossipResult struct {
 }
 
 // RunGossip simulates one gossip execution.
+//
+// Deprecated: use Run with a GossipSpec — Run(ctx, GossipSpec(cfg)) — which
+// is bit-identical and adds sharded execution, telemetry and lean-memory
+// options. This wrapper delegates to Run.
 func RunGossip(cfg GossipConfig) (*GossipResult, error) {
-	cfg = cfg.withDefaults()
-	proto, err := gossipProtoByName(cfg.Protocol)
-	if err != nil {
-		return nil, err
+	r, err := Run(context.Background(), GossipSpec(cfg))
+	var out *GossipResult
+	if r != nil {
+		out = r.Gossip
 	}
-	p := cfg.Tuning
-	p.N, p.F = cfg.N, cfg.F
-	graph, err := buildTopology(cfg.Topology, cfg.N, cfg.TopologyParam, cfg.TopologyParam2, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if graph != nil {
-		p.Graph = graph
-	}
-	nodes, err := core.NewNodes(proto, p, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	simCfg := sim.Config{
-		N: cfg.N, F: cfg.F,
-		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
-		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
-		Graph: graph,
-	}
-	adv, err := adversary.ByName(cfg.Adversary, simCfg)
-	if err != nil {
-		return nil, err
-	}
-	w, err := sim.NewWorld(simCfg, nodes, adv)
-	if err != nil {
-		return nil, err
-	}
-	var tl *trace.Timeline
-	tracer := cfg.Tracer
-	if cfg.Timeline {
-		tl = trace.NewTimeline(cfg.N, 160)
-		tracer = sim.Tee(tl, tracer)
-	}
-	if tracer != nil {
-		w.SetTracer(tracer)
-	}
-	res, runErr := w.Run(proto.Evaluator(p.WithDefaults()))
-	out := &GossipResult{
-		Completed:    res.Completed,
-		TimeSteps:    int64(res.TimeComplexity),
-		Messages:     res.Messages,
-		Bytes:        res.Bytes,
-		BytesKnown:   res.BytesKnown,
-		Crashes:      res.Crashes,
-		OffEdgeDrops: res.OffEdgeDrops,
-	}
-	if tl != nil {
-		out.Timeline = tl.Render()
-	}
-	for q := 0; q < cfg.N; q++ {
-		if !w.Alive(sim.ProcID(q)) {
-			out.Crashed = append(out.Crashed, q)
-		}
-		if h, ok := nodes[q].(core.RumorHolder); ok {
-			out.Rumors = append(out.Rumors, h.RumorSet().Elements())
-		} else {
-			out.Rumors = append(out.Rumors, nil)
-		}
-	}
-	if runErr != nil {
-		return out, fmt.Errorf("repro: gossip run failed: %w", runErr)
-	}
-	return out, nil
+	return out, err
 }
 
 func gossipProtoByName(name string) (core.Protocol, error) {
@@ -345,69 +286,17 @@ type ConsensusResult struct {
 }
 
 // RunConsensus simulates one consensus execution.
+//
+// Deprecated: use Run with a ConsensusSpec — Run(ctx, ConsensusSpec(cfg)) —
+// which is bit-identical and adds sharded execution, telemetry and
+// lean-memory options. This wrapper delegates to Run.
 func RunConsensus(cfg ConsensusConfig) (*ConsensusResult, error) {
-	cfg = cfg.withDefaults()
-	p := consensus.Params{
-		N: cfg.N, F: cfg.F,
-		Transport: consensus.TransportKind(cfg.Transport),
-		Gossip:    cfg.Tuning,
+	r, err := Run(context.Background(), ConsensusSpec(cfg))
+	var out *ConsensusResult
+	if r != nil {
+		out = r.Consensus
 	}
-	graph, err := buildTopology(cfg.Topology, cfg.N, cfg.TopologyParam, cfg.TopologyParam2, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if graph != nil {
-		p.Gossip.Graph = graph
-	}
-	if cfg.LocalCoin {
-		p.Coin = consensus.NewLocalCoin(cfg.Seed)
-	}
-	inputs := cfg.Inputs
-	if inputs == nil {
-		inputs = consensus.RandomInputs(cfg.N, cfg.Seed)
-	}
-	nodes, err := consensus.NewNodes(p, inputs, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	simCfg := sim.Config{
-		N: cfg.N, F: cfg.F,
-		D: sim.Time(cfg.D), Delta: sim.Time(cfg.Delta),
-		Seed: cfg.Seed, MaxSteps: sim.Time(cfg.MaxSteps),
-		Graph: graph,
-	}
-	adv, err := adversary.ByName(cfg.Adversary, simCfg)
-	if err != nil {
-		return nil, err
-	}
-	w, err := sim.NewWorld(simCfg, nodes, adv)
-	if err != nil {
-		return nil, err
-	}
-	res, runErr := w.Run(consensus.Evaluator{Inputs: inputs})
-	out := &ConsensusResult{
-		Completed:    res.Completed,
-		TimeSteps:    int64(res.CompletedAt),
-		Messages:     res.Messages,
-		Bytes:        res.Bytes,
-		BytesKnown:   res.BytesKnown,
-		Crashes:      res.Crashes,
-		Inputs:       inputs,
-		OffEdgeDrops: res.OffEdgeDrops,
-	}
-	for q := 0; q < cfg.N; q++ {
-		cn := nodes[q].(*consensus.Node)
-		if decided, v, _ := cn.Decided(); decided {
-			out.Decision = v
-		}
-		if w.Alive(sim.ProcID(q)) && cn.Rounds() > out.MaxRounds {
-			out.MaxRounds = cn.Rounds()
-		}
-	}
-	if runErr != nil {
-		return out, fmt.Errorf("repro: consensus run failed: %w", runErr)
-	}
-	return out, nil
+	return out, err
 }
 
 // LowerBoundConfig configures RunLowerBound.
@@ -426,22 +315,21 @@ type LowerBoundConfig struct {
 // RunLowerBound runs the Theorem 1 adaptive adversary against a protocol
 // and reports which side of the Ω(n+f²) messages / Ω(f(d+δ)) time
 // dichotomy it forced.
+//
+// Deprecated: use Run with a LowerBoundSpec — Run(ctx, LowerBoundSpec(cfg))
+// — which is identical. This wrapper delegates to Run.
 func RunLowerBound(cfg LowerBoundConfig) (LowerBoundReport, error) {
-	if cfg.Protocol == "" {
-		cfg.Protocol = ProtoEARS
-	}
-	proto, err := core.ByName(cfg.Protocol)
+	r, err := Run(context.Background(), LowerBoundSpec(cfg))
 	if err != nil {
 		return LowerBoundReport{}, err
 	}
-	return lowerbound.Run(proto, core.Params{}, lowerbound.Config{
-		N: cfg.N, F: cfg.F, Seed: cfg.Seed, Trials: cfg.Trials,
-	})
+	return *r.LowerBound, nil
 }
 
-// Batch configures the concurrent batch runners RunGossipMany and
+// Batch configures the deprecated batch runners RunGossipMany and
 // RunConsensusMany. The zero value runs on GOMAXPROCS workers without
-// cancellation.
+// cancellation. New code passes a context and WithWorkers to RunMany
+// instead of bundling them in a struct.
 type Batch struct {
 	// Workers caps concurrency (0 = GOMAXPROCS, 1 = serial). Every run is
 	// seeded from its own config, so results are identical for any value.
@@ -451,40 +339,47 @@ type Batch struct {
 	Context context.Context
 }
 
-func (b Batch) context() context.Context {
-	if b.Context != nil {
-		return b.Context
-	}
-	return context.Background()
-}
-
 // RunGossipMany simulates one gossip execution per config, fanned across
 // the batch's worker pool. results[i] and errs[i] correspond to cfgs[i]
 // and are exactly what RunGossip(cfgs[i]) would have returned — simulations
 // share no state, so parallel batches reproduce serial loops bit for bit.
+//
+// Deprecated: use RunMany — RunMany(ctx, specs, WithWorkers(w)) — which
+// accepts any spec kind and a first-class context. This wrapper delegates
+// to RunMany.
 func RunGossipMany(b Batch, cfgs []GossipConfig) (results []*GossipResult, errs []error) {
-	results, errs, _ = runner.Map(b.context(), len(cfgs),
-		runner.Options{Workers: b.Workers},
-		func(_ context.Context, i int) (*GossipResult, error) {
-			cfg := cfgs[i]
-			// A caller-provided snapshot pool is sequential-only (its free
-			// lists are unsynchronized); concurrent runs must each build
-			// their own, so strip it rather than race on it.
-			cfg.Tuning.Pool = nil
-			return RunGossip(cfg)
-		})
+	specs := make([]GossipSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = GossipSpec(cfg)
+	}
+	rs, errs := RunMany(b.Context, specs, WithWorkers(b.Workers))
+	results = make([]*GossipResult, len(rs))
+	for i, r := range rs {
+		if r != nil {
+			results[i] = r.Gossip
+		}
+	}
 	return results, errs
 }
 
 // RunConsensusMany simulates one consensus execution per config, fanned
 // across the batch's worker pool; results and errors are positional, as in
 // RunGossipMany.
+//
+// Deprecated: use RunMany — RunMany(ctx, specs, WithWorkers(w)). This
+// wrapper delegates to RunMany.
 func RunConsensusMany(b Batch, cfgs []ConsensusConfig) (results []*ConsensusResult, errs []error) {
-	results, errs, _ = runner.Map(b.context(), len(cfgs),
-		runner.Options{Workers: b.Workers},
-		func(_ context.Context, i int) (*ConsensusResult, error) {
-			return RunConsensus(cfgs[i])
-		})
+	specs := make([]ConsensusSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = ConsensusSpec(cfg)
+	}
+	rs, errs := RunMany(b.Context, specs, WithWorkers(b.Workers))
+	results = make([]*ConsensusResult, len(rs))
+	for i, r := range rs {
+		if r != nil {
+			results[i] = r.Consensus
+		}
+	}
 	return results, errs
 }
 
@@ -527,15 +422,21 @@ type FuzzOptions struct {
 // adversary/topology/protocol scenarios drawn from the seed, every
 // execution checked against the invariant-oracle catalog, and every
 // violation shrunk to a minimized, replayable ScenarioReport.
+//
+// Deprecated: use Run with a FuzzSpec — Run(ctx, FuzzSpec{...},
+// WithWorkers(w)) — which takes cancellation and concurrency first-class.
+// This wrapper delegates to Run.
 func RunFuzz(opts FuzzOptions) (*FuzzSummary, error) {
-	return scenario.Fuzz(scenario.Options{
+	r, err := Run(opts.Context, FuzzSpec{
 		Runs:         opts.Runs,
-		MasterSeed:   opts.Seed,
+		Seed:         opts.Seed,
 		FirstIndex:   opts.FirstIndex,
-		Workers:      opts.Workers,
 		ShrinkBudget: opts.ShrinkBudget,
-		Context:      opts.Context,
-	})
+	}, WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	return r.Fuzz, nil
 }
 
 // GenerateScenario derives the index-th scenario of a master seed's

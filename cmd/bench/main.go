@@ -10,9 +10,12 @@
 //	bench -quick -out BENCH_gossip.json     # the CI pinned suite
 //	bench -out BENCH_gossip.json            # full scale (nightly)
 //	bench -large -out BENCH_large.json      # large-n sweep, lean trackers (nightly)
+//	bench -xlarge -out BENCH_xlarge.json    # sharded lean sweep beyond the large tier (nightly)
 //	bench -check BENCH_gossip.json          # validate an existing artifact
 //	bench -quick -compare BENCH_gossip.json # run the suite, then gate against a baseline
 //	bench -compare OLD.json NEW.json        # gate one artifact against another
+//	bench -quick -shards 4 -compare BENCH_gossip.json  # sharded kernel vs the serial baseline
+//	bench -xlarge -compare BENCH_large.json -overlap   # gate the cells shared with the large tier
 //
 // Comparison semantics: the paper's complexity measures (steps, messages,
 // bytes, failure counts) are deterministic functions of the pinned seeds,
@@ -60,13 +63,17 @@ const (
 
 // benchFile is the artifact layout.
 type benchFile struct {
-	Schema    string       `json:"schema"`
-	Generated string       `json:"generated"` // RFC 3339 UTC
-	GoVersion string       `json:"go_version"`
-	Scale     string       `json:"scale"` // "quick", "full" or "large"
-	Workers   int          `json:"workers"`
-	Seeds     int          `json:"seeds"`
-	Results   []benchEntry `json:"results"`
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"` // RFC 3339 UTC
+	GoVersion string `json:"go_version"`
+	Scale     string `json:"scale"` // "quick", "full", "large" or "xlarge"
+	Workers   int    `json:"workers"`
+	Seeds     int    `json:"seeds"`
+	// Shards is the -shards flag the suite ran with (0 = per-cell
+	// defaults). Like workers it is harness configuration: the complexity
+	// measures are identical for every value.
+	Shards  int          `json:"shards,omitempty"`
+	Results []benchEntry `json:"results"`
 }
 
 // benchEntry is one pinned (protocol, topology, n) cell.
@@ -79,9 +86,14 @@ type benchEntry struct {
 	Seeds    int    `json:"seeds"`
 	Failures int    `json:"failures"`
 	// Lean marks cells run with O(1) tracker bookkeeping (the large-n
-	// sweep); completion-time milestones stay exact, per-rumor times are
+	// sweeps); completion-time milestones stay exact, per-rumor times are
 	// upper bounds. Absent/false for the quick and full suites.
 	Lean bool `json:"lean,omitempty"`
+	// Shards is the superstep shard count the cell ran with (0 = serial
+	// kernel). Execution detail only: sharded cells are byte-identical to
+	// serial ones on every complexity measure, which the overlap compare
+	// against the serial large tier gates nightly.
+	Shards int `json:"shards,omitempty"`
 	// The paper's two complexity measures, averaged over seeds.
 	StepsPerRun float64 `json:"steps_per_run"`
 	StepsStd    float64 `json:"steps_std"`
@@ -109,6 +121,7 @@ type cellSpec struct {
 	ns       []int
 	d, delta int  // message delay and scheduling bounds (0 = default 2)
 	lean     bool // large-n cells use O(1) tracker bookkeeping
+	shards   int  // superstep shards (0 = serial kernel)
 }
 
 // suite returns the pinned cells for a scale ("quick", "full", "large").
@@ -116,6 +129,27 @@ func suite(scale string) []cellSpec {
 	quarter := func(n int) int { return n / 4 }
 	minority := func(n int) int { return (n - 1) / 2 }
 	zero := func(int) int { return 0 }
+	if scale == "xlarge" {
+		// The xlarge sweep drives the sharded superstep kernel past the
+		// large tier's scales, lean and sharded one-per-CPU. The first n of
+		// every family duplicates a large-tier cell exactly (same name,
+		// parameters and derived seeds), so `-compare BENCH_large.json
+		// -overlap` gates sharded ≡ serial byte-identically at the artifact
+		// level. Scales are sized to measured memory and nightly wall-clock
+		// budgets, not ambition: tears' per-process audience state and the
+		// epidemic protocols' n-bit rumor sets grow superlinearly, which is
+		// what caps the sweep well below n = 10⁶ (see README "Sharded
+		// execution" for the arithmetic).
+		auto := runtime.NumCPU()
+		if auto < 2 {
+			auto = 2 // always drive the sharded engine, even on one CPU
+		}
+		return []cellSpec{
+			{proto: "tears", family: "", fOf: zero, lean: true, shards: auto, ns: []int{20000, 35000}},
+			{proto: "sync-epidemic", family: "", fOf: zero, lean: true, shards: auto, d: 1, delta: 1, ns: []int{50000, 100000}},
+			{proto: "naive", family: topology.FamilyErdosRenyi, fOf: zero, lean: true, shards: auto, ns: []int{50000, 100000}},
+		}
+	}
 	if scale == "large" {
 		// The large-n sweep exercises the allocation-free kernel at 10×–200×
 		// the classic suite's n. Protocols are chosen to be feasible at this
@@ -156,11 +190,14 @@ func run(args []string, out io.Writer) error {
 	var (
 		quick   = fs.Bool("quick", false, "CI scale (smaller n sweep and fewer seeds)")
 		large   = fs.Bool("large", false, "large-n sweep (n up to 50000, lean trackers)")
+		xlarge  = fs.Bool("xlarge", false, "sharded lean sweep beyond the large tier (n up to 100000)")
 		outPath = fs.String("out", "BENCH_gossip.json", "artifact path")
-		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full, 2 large)")
+		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full, 2 large/xlarge)")
 		workers = fs.Int("workers", 0, "worker pool for each cell's seed grid (0 = GOMAXPROCS)")
+		shards  = fs.Int("shards", 0, "superstep shards per run (0 = per-cell defaults; results are identical for every value)")
 		check   = fs.String("check", "", "validate an existing artifact instead of running the suite")
 		compare = fs.String("compare", "", "baseline artifact to gate against (with a positional NEW.json: compare files without running)")
+		overlap = fs.Bool("overlap", false, "with -compare: gate only the cells present in both artifacts (cross-scale, e.g. -xlarge vs the large baseline)")
 		telem   = fs.String("telemetry", "", "directory for pprof CPU/heap profiles and an instrumented sample run (metrics.om, trace.json, run.ndjson)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -179,7 +216,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compareFiles(*compare, fresh, out)
+		return compareFiles(*compare, fresh, *overlap, out)
 	}
 	if fs.NArg() > 0 {
 		// Positional arguments are only meaningful in file-vs-file compare
@@ -188,8 +225,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q (did you mean -check %s or -compare BASE.json %s?)",
 			fs.Arg(0), fs.Arg(0), fs.Arg(0))
 	}
-	if *quick && *large {
-		return fmt.Errorf("-quick and -large are mutually exclusive")
+	if n := btoi(*quick) + btoi(*large) + btoi(*xlarge); n > 1 {
+		return fmt.Errorf("-quick, -large and -xlarge are mutually exclusive")
+	}
+	if *overlap && *compare == "" {
+		return fmt.Errorf("-overlap only makes sense with -compare")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: must be >= 0", *shards)
 	}
 
 	scale := "full"
@@ -199,6 +242,8 @@ func run(args []string, out io.Writer) error {
 		scale, cellSeeds = "quick", 3
 	case *large:
 		scale, cellSeeds = "large", 2
+	case *xlarge:
+		scale, cellSeeds = "xlarge", 2
 	}
 	if *seeds > 0 {
 		cellSeeds = *seeds
@@ -224,6 +269,7 @@ func run(args []string, out io.Writer) error {
 		Scale:     scale,
 		Workers:   runner.Workers(*workers),
 		Seeds:     cellSeeds,
+		Shards:    *shards,
 	}
 	for _, cell := range suite(scale) {
 		for _, n := range cell.ns {
@@ -252,6 +298,10 @@ func run(args []string, out io.Writer) error {
 				SeedLabel: name,
 			}
 			spec.Gossip.Lean = cell.lean
+			spec.Shards = cell.shards
+			if *shards > 0 {
+				spec.Shards = *shards
+			}
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)
@@ -273,6 +323,7 @@ func run(args []string, out io.Writer) error {
 				Seeds:            cellSeeds,
 				Failures:         m.Failures,
 				Lean:             cell.lean,
+				Shards:           spec.Shards,
 				StepsPerRun:      m.Time.Mean,
 				StepsStd:         m.Time.Std,
 				MsgsPerRun:       m.Messages.Mean,
@@ -311,9 +362,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *compare != "" {
-		return compareFiles(*compare, &file, out)
+		return compareFiles(*compare, &file, *overlap, out)
 	}
 	return nil
+}
+
+// btoi counts a set flag.
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // loadFile parses and validates an artifact on disk.
@@ -352,13 +411,19 @@ func boolMetric(b bool) float64 {
 // equality on the deterministic complexity measures (any drift is a
 // behavioral regression and fails), tolerance-with-warning on the
 // machine-dependent cost measures (wall clock, allocations).
-func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
+//
+// In overlap mode the two artifacts may come from different scales (the
+// nightly xlarge sweep against the large baseline): only the cells present
+// in both are gated — but at least one must be, and shared cells must
+// agree on their per-cell seed counts or the means are incomparable.
+// Baseline-only cells are noted, not failed.
+func compareFiles(basePath string, fresh *benchFile, overlap bool, out io.Writer) error {
 	base, err := loadFile(basePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	if base.Scale != fresh.Scale || base.Seeds != fresh.Seeds {
-		return fmt.Errorf("incomparable grids: baseline is %s/%d seeds, fresh is %s/%d seeds",
+	if !overlap && (base.Scale != fresh.Scale || base.Seeds != fresh.Seeds) {
+		return fmt.Errorf("incomparable grids: baseline is %s/%d seeds, fresh is %s/%d seeds (use -overlap for cross-scale gating)",
 			base.Scale, base.Seeds, fresh.Scale, fresh.Seeds)
 	}
 	freshByName := make(map[string]benchEntry, len(fresh.Results))
@@ -366,14 +431,25 @@ func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
 		freshByName[e.Name] = e
 	}
 	var failures []string
-	warnings := 0
+	warnings, shared := 0, 0
 	for _, b := range base.Results {
 		f, ok := freshByName[b.Name]
 		if !ok {
+			if overlap {
+				fmt.Fprintf(out, "bench: note: baseline cell %s not in fresh results (outside the overlap)\n", b.Name)
+				continue
+			}
 			failures = append(failures, fmt.Sprintf("%s: cell present in baseline but missing from fresh results", b.Name))
 			continue
 		}
 		delete(freshByName, b.Name)
+		shared++
+		if b.Seeds != f.Seeds {
+			failures = append(failures, fmt.Sprintf(
+				"%s: seeds = %d, baseline %d (seed grids differ; means are incomparable)",
+				b.Name, f.Seeds, b.Seeds))
+			continue
+		}
 		exact := []struct {
 			metric     string
 			want, have float64
@@ -409,6 +485,10 @@ func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
 	for name := range freshByName {
 		fmt.Fprintf(out, "bench: note: new cell %s has no baseline yet\n", name)
 	}
+	if overlap && shared == 0 {
+		return fmt.Errorf("compare -overlap: no cells shared between %s (%s) and fresh results (%s); nothing was gated",
+			basePath, base.Scale, fresh.Scale)
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(out, "bench: FAIL", f)
@@ -416,7 +496,7 @@ func compareFiles(basePath string, fresh *benchFile, out io.Writer) error {
 		return fmt.Errorf("compare: %d complexity mismatches against %s", len(failures), basePath)
 	}
 	fmt.Fprintf(out, "bench: compare OK against %s (%d cells exact, %d cost warnings)\n",
-		basePath, len(base.Results), warnings)
+		basePath, shared, warnings)
 	return nil
 }
 
@@ -428,8 +508,8 @@ func validate(f *benchFile) error {
 	if _, err := time.Parse(time.RFC3339, f.Generated); err != nil {
 		return fmt.Errorf("generated timestamp: %w", err)
 	}
-	if f.Scale != "quick" && f.Scale != "full" && f.Scale != "large" {
-		return fmt.Errorf("scale %q, want quick|full|large", f.Scale)
+	if f.Scale != "quick" && f.Scale != "full" && f.Scale != "large" && f.Scale != "xlarge" {
+		return fmt.Errorf("scale %q, want quick|full|large|xlarge", f.Scale)
 	}
 	if f.Workers <= 0 || f.Seeds <= 0 {
 		return fmt.Errorf("workers=%d seeds=%d must be positive", f.Workers, f.Seeds)

@@ -153,7 +153,9 @@ func TestCompareExactAndTolerant(t *testing.T) {
 
 // TestCompareMatchedSeedsFlag runs the quick suite twice (tiny seed count)
 // and gates the second run against the first: determinism makes this pass
-// by construction, end to end through the CLI.
+// by construction, end to end through the CLI. The second run is sharded,
+// so the pass also pins the tentpole contract — a sharded suite is
+// byte-identical to the serial baseline on every complexity measure.
 func TestCompareMatchedSeedsFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench suite in -short mode")
@@ -165,10 +167,98 @@ func TestCompareMatchedSeedsFlag(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	out := filepath.Join(dir, "fresh.json")
-	if err := run([]string{"-quick", "-seeds", "1", "-out", out, "-compare", basePath}, &buf); err != nil {
-		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
+	if err := run([]string{"-quick", "-seeds", "1", "-shards", "3", "-out", out, "-compare", basePath}, &buf); err != nil {
+		t.Fatalf("sharded self-compare failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "compare OK") {
 		t.Fatalf("no compare summary:\n%s", buf.String())
+	}
+}
+
+// TestXLargeSuiteShape pins the nightly xlarge tier's structure without
+// running it: every cell is lean and sharded, and the first n of every
+// family duplicates a large-tier cell exactly, so the -overlap gate
+// against BENCH_large.json always has cells to compare.
+func TestXLargeSuiteShape(t *testing.T) {
+	large := map[string]bool{}
+	for _, c := range suite("large") {
+		for _, n := range c.ns {
+			large[fmt.Sprintf("%s/%s/n=%d", c.proto, c.family, n)] = true
+		}
+	}
+	overlapping := 0
+	for _, c := range suite("xlarge") {
+		if !c.lean || c.shards < 2 {
+			t.Fatalf("xlarge cell %s/%s: lean=%v shards=%d, want lean sharded", c.proto, c.family, c.lean, c.shards)
+		}
+		if large[fmt.Sprintf("%s/%s/n=%d", c.proto, c.family, c.ns[0])] {
+			overlapping++
+		}
+	}
+	if overlapping != len(suite("xlarge")) {
+		t.Fatalf("only %d/%d xlarge families overlap the large tier", overlapping, len(suite("xlarge")))
+	}
+}
+
+// TestCompareOverlap pins the cross-scale gate: only shared cells are
+// compared, baseline-only cells are notes not failures, zero overlap is
+// an error, and shared-cell drift still fails.
+func TestCompareOverlap(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cell := func(name string, msgs float64) string {
+		return `{"name":"` + name + `","protocol":"ears","topology":"complete","n":8,"f":2,"seeds":2,"failures":0,` +
+			`"steps_per_run":10,"msgs_per_run":` + fmt.Sprint(msgs) + `,"wall_ns":1000}`
+	}
+	file := func(scale string, cells ...string) string {
+		return `{"schema":"` + schemaVersion + `","generated":"2026-01-01T00:00:00Z","go_version":"go1.22",` +
+			`"scale":"` + scale + `","workers":1,"seeds":2,"results":[` + strings.Join(cells, ",") + `]}`
+	}
+	base := write("large.json", file("large", cell("a", 100), cell("only-base", 7)))
+
+	// Shared cell identical, baseline-only cell skipped: overlap passes
+	// where the plain gate would fail on both scale and the missing cell.
+	freshPath := write("xlarge.json", file("xlarge", cell("a", 100), cell("only-fresh", 9)))
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", base, "-overlap", freshPath}, &buf); err != nil {
+		t.Fatalf("overlap compare failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "outside the overlap") {
+		t.Fatalf("baseline-only cell not noted:\n%s", buf.String())
+	}
+	if err := run([]string{"-compare", base, freshPath}, &bytes.Buffer{}); err == nil {
+		t.Fatal("cross-scale compare passed without -overlap")
+	}
+
+	// Drift in the shared cell still fails under -overlap.
+	drifted := write("drifted.json", file("xlarge", cell("a", 101)))
+	buf.Reset()
+	if err := run([]string{"-compare", base, "-overlap", drifted}, &buf); err == nil {
+		t.Fatalf("shared-cell drift passed the overlap gate:\n%s", buf.String())
+	}
+
+	// No shared cells: error, not a vacuous pass.
+	disjoint := write("disjoint.json", file("xlarge", cell("z", 5)))
+	if err := run([]string{"-compare", base, "-overlap", disjoint}, &bytes.Buffer{}); err == nil {
+		t.Fatal("disjoint overlap compare passed")
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-quick", "-xlarge"},
+		{"-large", "-xlarge"},
+		{"-overlap"},
+		{"-quick", "-shards", "-1"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%v accepted", args)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		runs    = fs.Int("runs", 0, "deprecated alias for -seeds")
 		seeds   = fs.Int("seeds", 0, "number of seeds to run (default 1)")
 		workers = fs.Int("workers", 0, "run the seeds concurrently on this many workers (0 = GOMAXPROCS; output is identical to serial)")
+		shards  = fs.Int("shards", 0, "split each run into this many superstep shards (0/1 = serial kernel; output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,9 +54,9 @@ func run(args []string, out io.Writer) error {
 	if count <= 0 {
 		count = 1
 	}
-	cfgs := make([]repro.ConsensusConfig, count)
-	for i := range cfgs {
-		cfgs[i] = repro.ConsensusConfig{
+	specs := make([]repro.ConsensusSpec, count)
+	for i := range specs {
+		specs[i] = repro.ConsensusSpec{
 			Transport:      *tr,
 			N:              *n,
 			F:              *f,
@@ -72,12 +74,14 @@ func run(args []string, out io.Writer) error {
 	// errors stop the sweep within a chunk.
 	for start := 0; start < count; start += chunkSize(*workers) {
 		end := min(start+chunkSize(*workers), count)
-		results, errs := repro.RunConsensusMany(repro.Batch{Workers: *workers}, cfgs[start:end])
-		for j, res := range results {
+		batch, errs := repro.RunMany(context.Background(), specs[start:end],
+			repro.WithWorkers(*workers), repro.WithShards(*shards))
+		for j, r := range batch {
 			i := start + j
 			if errs[j] != nil {
 				return errs[j]
 			}
+			res := r.Consensus
 			ones := 0
 			for _, v := range res.Inputs {
 				ones += int(v)

@@ -16,8 +16,9 @@ import (
 // envelope-tightness percentiles). Unlike the stdout summary it carries
 // volatile fields (timestamps, wall clock, runs/sec), so it never
 // participates in the byte-reproducibility contract — CI uploads it as an
-// artifact and validates it with -check.
-const fuzzBenchSchema = "repro.bench.fuzz/v1"
+// artifact and validates it with -check. v2 added the sharded-twin
+// counter.
+const fuzzBenchSchema = "repro.bench.fuzz/v2"
 
 // benchFuzzFile is the artifact layout.
 type benchFuzzFile struct {
@@ -33,6 +34,7 @@ type benchFuzzFile struct {
 	Completed          int            `json:"completed"`
 	Unpromised         int            `json:"unpromised"`
 	EquivalenceChecked int            `json:"equivalence_checked"`
+	ShardChecked       int            `json:"shard_checked"`
 	Skipped            int            `json:"skipped"`
 	Crashes            int64          `json:"crashes"`
 	Messages           int64          `json:"messages"`
@@ -67,6 +69,7 @@ func buildBenchFuzz(sum *scenario.Summary, mode string, wall time.Duration) *ben
 		Completed:          sum.Completed,
 		Unpromised:         sum.Unpromised,
 		EquivalenceChecked: sum.EquivalenceChecked,
+		ShardChecked:       sum.ShardChecked,
 		Skipped:            sum.Skipped,
 		Crashes:            sum.Crashes,
 		Messages:           sum.Messages,
@@ -133,11 +136,11 @@ func validateBenchFuzz(f *benchFuzzFile) error {
 		return fmt.Errorf("mode %q, want runs|duration", f.Mode)
 	}
 	if f.Runs < 0 || f.Completed < 0 || f.Unpromised < 0 || f.EquivalenceChecked < 0 ||
-		f.Skipped < 0 || f.Crashes < 0 || f.Messages < 0 || f.Violations < 0 {
+		f.ShardChecked < 0 || f.Skipped < 0 || f.Crashes < 0 || f.Messages < 0 || f.Violations < 0 {
 		return fmt.Errorf("negative counter")
 	}
 	if f.Completed > f.Runs || f.Unpromised > f.Runs || f.EquivalenceChecked > f.Runs ||
-		f.Violations > f.Runs {
+		f.ShardChecked > f.Runs || f.Violations > f.Runs {
 		return fmt.Errorf("counter exceeds runs=%d", f.Runs)
 	}
 	var byProto int

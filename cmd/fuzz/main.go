@@ -3,8 +3,9 @@
 // master seed, executes them through the sim kernel, and checks every run
 // against the invariant-oracle catalog (crash budget, delay clamp,
 // post-crash silence, schedule gaps, completion promises, paper-derived
-// complexity envelopes, pooled ≡ unpooled equivalence). Failures are
-// shrunk to minimized repros and written as replayable ScenarioReports.
+// complexity envelopes, pooled ≡ unpooled and sharded ≡ serial
+// equivalence). Failures are shrunk to minimized repros and written as
+// replayable ScenarioReports.
 //
 //	fuzz -runs 200 -seed 1                  # a fixed-size session
 //	fuzz -duration 10m -seed 1 -out reports # time-boxed (nightly CI)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		runs    = fs.Int("runs", 0, "deprecated alias for -seeds")
 		seeds   = fs.Int("seeds", 0, "number of seeds to run (seed, seed+1, ...; default 1)")
 		workers = fs.Int("workers", 0, "run the seeds concurrently on this many workers (0 = GOMAXPROCS; output is identical to serial)")
+		shards  = fs.Int("shards", 0, "split each run into this many superstep shards (0/1 = serial kernel; output is identical for any value)")
 		verbt   = fs.Bool("rumors", false, "print per-process rumor counts")
 		tline   = fs.Bool("timeline", false, "render an ASCII space-time diagram (small n)")
 	)
@@ -53,9 +55,9 @@ func run(args []string, out io.Writer) error {
 	if count <= 0 {
 		count = 1
 	}
-	cfgs := make([]repro.GossipConfig, count)
-	for i := range cfgs {
-		cfgs[i] = repro.GossipConfig{
+	specs := make([]repro.GossipSpec, count)
+	for i := range specs {
+		specs[i] = repro.GossipSpec{
 			Protocol:       *proto,
 			N:              *n,
 			F:              *f,
@@ -67,8 +69,8 @@ func run(args []string, out io.Writer) error {
 			TopologyParam:  *tp1,
 			TopologyParam2: *tp2,
 		}
-		cfgs[i].Tuning.Epsilon = *eps
-		cfgs[i].Timeline = *tline
+		specs[i].Tuning.Epsilon = *eps
+		specs[i].Timeline = *tline
 	}
 	topoTag := ""
 	if *topo != "" {
@@ -80,7 +82,14 @@ func run(args []string, out io.Writer) error {
 	// instead of after all remaining seeds.
 	for start := 0; start < count; start += chunkSize(*workers) {
 		end := min(start+chunkSize(*workers), count)
-		results, errs := repro.RunGossipMany(repro.Batch{Workers: *workers}, cfgs[start:end])
+		batch, errs := repro.RunMany(context.Background(), specs[start:end],
+			repro.WithWorkers(*workers), repro.WithShards(*shards))
+		results := make([]*repro.GossipResult, len(batch))
+		for j, r := range batch {
+			if r != nil {
+				results[j] = r.Gossip
+			}
+		}
 		for j, res := range results {
 			i := start + j
 			// Header first, so diagnostics of a failed run attach to it.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,12 +45,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	for _, budget := range budgets {
-		rep, err := repro.RunLowerBound(repro.LowerBoundConfig{
+		res, err := repro.Run(context.Background(), repro.LowerBoundSpec{
 			Protocol: *proto, N: *n, F: budget, Seed: *seed, Trials: *trials,
 		})
 		if err != nil {
 			return err
 		}
+		rep := *res.LowerBound
 		fmt.Fprintf(out, "%s n=%d: %s satisfied=%v\n", *proto, *n, rep, rep.Satisfied())
 	}
 	return nil

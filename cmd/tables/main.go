@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		delta   = fs.Int("delta", 2, "max scheduling gap for the tables")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "worker pool for the (spec × seed) grid (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		shards  = fs.Int("shards", 0, "split each run into this many superstep shards (0/1 = serial kernel; results are identical)")
 		seeds   = fs.Int("seeds", 0, "per-point repetition count (0 = scale default)")
 		csvDir  = fs.String("csv", "", "directory to additionally write <name>.csv files into")
 	)
@@ -59,7 +60,7 @@ func run(args []string, out io.Writer) error {
 	if *full {
 		scale = experiments.Full
 	}
-	env := experiments.Env{Scale: scale, Workers: *workers, Seeds: *seeds}
+	env := experiments.Env{Scale: scale, Workers: *workers, Seeds: *seeds, Shards: *shards}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("tables: creating csv dir: %w", err)

@@ -4,23 +4,70 @@
 // crash-prone, message-passing systems, together with the discrete-time
 // adversarial simulator the paper's complexity measures are defined over.
 //
-// The package offers three entry points:
+// # The Run API
 //
-//   - RunGossip simulates one of the paper's gossip protocols — ears
+// Every simulation goes through one entry point:
+//
+//	out, err := repro.Run(ctx, spec, opts...)
+//
+// where spec is one of four typed specs and out is a RunResult with the
+// matching field set:
+//
+//   - GossipSpec simulates one of the paper's gossip protocols — ears
 //     (epidemic, §3), sears (spamming, §4), tears (two-hop majority
 //     gossip, §5) — or a baseline (trivial all-to-all, synchronous
 //     epidemics) under a configurable adversary, and reports the paper's
 //     two complexity measures: time steps and point-to-point messages.
 //
-//   - RunConsensus simulates randomized binary consensus in the
+//   - ConsensusSpec simulates randomized binary consensus in the
 //     Canetti–Rabin framework (§6) with get-core realized by all-to-all
 //     communication (the Θ(n²) baseline) or by majority gossip (CR-ears,
 //     CR-sears, CR-tears — the latter being the paper's headline: constant
 //     time with strictly subquadratic message complexity).
 //
-//   - RunLowerBound executes the adaptive adversary from Theorem 1 (§2)
+//   - LowerBoundSpec executes the adaptive adversary from Theorem 1 (§2)
 //     against a chosen protocol, witnessing the paper's dichotomy: either
 //     Ω(n+f²) messages or Ω(f·(d+δ)) time.
+//
+//   - FuzzSpec drives the deterministic scenario-fuzzing engine
+//     (internal/scenario, also exposed as cmd/fuzz): from one master seed
+//     it derives an unbounded stream of random scenarios — protocol, n, f,
+//     d, δ, a topology from the generated families, and an oblivious
+//     adversary composed from random schedules, delay policies and
+//     explicit crash plans — executes each through the kernel, and checks
+//     every run against an invariant-oracle catalog: crash budget ≤ f,
+//     delay clamp ∈ [1, d], no post-crash activity, schedule-gap bounds,
+//     completion promises re-verified from raw node state, validity,
+//     paper-derived message/time envelopes, and sampled pooled ≡ unpooled
+//     and sharded ≡ serial event-stream equivalence. A violated scenario
+//     is shrunk to a minimized repro and returned as a replayable
+//     ScenarioReport; `cmd/fuzz -repro` re-runs a report file exactly.
+//
+// Functional options tune how a run executes — never what it computes:
+//
+//   - WithShards(s) splits the run into s deterministic superstep shards
+//     (see "Sharded execution" below); output is bit-identical for every
+//     shard count.
+//   - WithWorkers(w) caps the goroutines used by sharded phases, RunMany
+//     batches and fuzz sessions.
+//   - WithTracer(t) tees an extra event observer into the run.
+//   - WithTelemetry(rec) attaches a telemetry.Recorder for streaming,
+//     mergeable metrics.
+//   - WithLean() keeps per-process bookkeeping O(1) for large-n runs (the
+//     Θ(n²) Rumors matrix is not materialized; everything else in the
+//     result is unchanged).
+//
+// For ensembles, RunMany fans a slice of specs across a worker pool with
+// per-item results and errors positionally identical to a serial loop; the
+// engine behind it — and behind every experiment sweep and the cmd/bench
+// artifact — is internal/runner, whose contract is that parallel execution
+// is bit-identical to serial. DeriveSeed exposes its seed policy for
+// callers building their own sweeps.
+//
+// The pre-Run entry points (RunGossip, RunConsensus, RunLowerBound,
+// RunFuzz, RunGossipMany, RunConsensusMany) remain as deprecated thin
+// wrappers with zero behavior change; the API-equivalence test suite pins
+// each wrapper bit-identical to its Run translation.
 //
 // Every run accepts a communication topology (GossipConfig.Topology,
 // ConsensusConfig.Topology, the Topo* constants): the default is the
@@ -29,38 +76,32 @@
 // erdos-renyi, watts-strogatz, barabasi-albert) restrict every protocol to
 // neighborhood communication over a seeded, connected, CSR-backed graph.
 //
-// RunFuzz drives the deterministic scenario-fuzzing engine
-// (internal/scenario, also exposed as cmd/fuzz): from one master seed it
-// derives an unbounded stream of random scenarios — protocol, n, f, d, δ,
-// a topology from the generated families, and an oblivious adversary
-// composed from random schedules (synchronous, rotating stride, skewed),
-// delay policies (fixed, uniform, pairwise, partition) and explicit crash
-// plans (storms, spreads, staggered waves, deliberately over-budget
-// plans) — executes each through the kernel, and checks every run against
-// an invariant-oracle catalog: crash budget ≤ f, delay clamp ∈ [1, d], no
-// post-crash activity, schedule-gap bounds, completion promises
-// re-verified from raw node state, validity, paper-derived message/time
-// envelopes, and sampled pooled ≡ unpooled event-stream equivalence. A
-// violated scenario is shrunk to a minimized repro (smaller n, f,
-// horizon, fewer adversary events, simpler policies — re-executed at
-// every step, never extrapolated) and returned as a replayable
-// ScenarioReport; `cmd/fuzz -repro` re-runs a report file exactly.
+// # Sharded execution
 //
-// For ensembles, RunGossipMany and RunConsensusMany fan batches of
-// configurations across a worker pool (Batch.Workers) with results
-// positionally identical to serial loops; the engine behind them — and
-// behind every experiment sweep and the cmd/bench artifact — is
-// internal/runner, whose contract is that parallel execution is
-// bit-identical to serial. DeriveSeed exposes its seed policy for
-// callers building their own sweeps.
+// WithShards(s) partitions a single run's processes into s contiguous
+// id-range shards and executes each time step as a superstep: shards drain
+// inboxes and step their processes in parallel against a frozen snapshot,
+// then a serial phase replays sends in canonical global order (restoring
+// the exact shared-RNG delay draws, tracer callbacks and metric folds of
+// the serial kernel), then shards enqueue routed messages in parallel.
+// The contract is bit-identical equivalence: a sharded run produces the
+// same result and the same event stream, event for event, as the serial
+// kernel — pinned by golden digests, an equivalence test matrix, and a
+// sharded ≡ serial fuzz oracle over random scenarios and shard counts.
+// Sharding composes with snapshot pooling (each shard owns a pool
+// partition) and with WithLean for memory-bounded large-n runs; the
+// cmd/bench -xlarge tier runs both nightly.
 //
 // # Determinism contract
 //
-// A run is a pure function of its configuration and seed. Three layers
+// A run is a pure function of its configuration and seed. Four layers
 // uphold this, and every optimization must preserve it:
 //
-//   - The kernel (internal/sim) is single-goroutine per world, so event
-//     order is total and reproducible.
+//   - The serial kernel (internal/sim) is single-goroutine per world, so
+//     event order is total and reproducible.
+//   - The sharded superstep engine replays all cross-shard effects in
+//     canonical order on one goroutine, so any shard count reproduces the
+//     serial event stream exactly.
 //   - The worker pool (internal/runner) is bit-identical to serial
 //     execution: results are index-addressed and aggregated in grid
 //     order, never in completion order.
@@ -68,10 +109,11 @@
 //     the hot path) consumes no randomness and touches no metric: pooled
 //     and unpooled runs produce identical executions event for event,
 //     which the determinism tests enforce. Pools are single-goroutine by
-//     design — one per world — and payloads are recycled only after the
-//     receiving process consumed them (see the Releasable contract in
-//     internal/sim); custom tracers and adversaries must therefore not
-//     retain message payloads beyond the callback that delivered them.
+//     design — one per world, or one per shard in sharded runs — and
+//     payloads are recycled only after the receiving process consumed them
+//     (see the Releasable contract in internal/sim); custom tracers and
+//     adversaries must therefore not retain message payloads beyond the
+//     callback that delivered them.
 //
 // The committed BENCH_gossip.json baseline and `cmd/bench -compare` turn
 // the contract into a CI gate: steps, messages and bytes must reproduce
@@ -82,16 +124,16 @@
 // internal/telemetry instruments runs without perturbing them: streaming
 // O(1)-per-event samplers (telemetry.Recorder — informed-count and
 // in-flight curves, send-band and delivery-latency histograms, all exactly
-// mergeable across runs) and exporters (OpenMetrics text, Chrome
-// trace-event JSON for Perfetto, NDJSON event logs) ride the same Tracer
-// seam as custom tracers; attach one via GossipConfig.Tracer or compose
-// with sim.Tee. Everything is observation-only — digests, baselines and
-// fuzz output are byte-identical with telemetry on or off — and with no
-// tracer attached the kernel keeps its allocation-free fast path.
-// cmd/bench -telemetry captures pprof profiles plus an instrumented sample
-// run; cmd/fuzz streams progress, watches for stuck workers, and emits a
-// repro.bench.fuzz/v1 artifact with per-oracle envelope-tightness
-// percentiles (-bench / -check).
+// mergeable across runs and shards) and exporters (OpenMetrics text,
+// Chrome trace-event JSON for Perfetto, NDJSON event logs) ride the same
+// Tracer seam as custom tracers; attach one via WithTelemetry or
+// WithTracer, or compose with sim.Tee. Everything is observation-only —
+// digests, baselines and fuzz output are byte-identical with telemetry on
+// or off — and with no tracer attached the kernel keeps its
+// allocation-free fast path. cmd/bench -telemetry captures pprof profiles
+// plus an instrumented sample run; cmd/fuzz streams progress, watches for
+// stuck workers, and emits a repro.bench.fuzz/v2 artifact with per-oracle
+// envelope-tightness percentiles (-bench / -check).
 //
 // Deeper extension points (custom protocols, adversaries, tracers,
 // graphs) are exposed through type aliases into the internal packages;

@@ -1,15 +1,18 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
-// ExampleRunGossip spreads 64 rumors with the paper's epidemic protocol
-// under an adversarial schedule. Runs are deterministic given the seed.
-func ExampleRunGossip() {
-	res, err := repro.RunGossip(repro.GossipConfig{
+// ExampleRun spreads 64 rumors with the paper's epidemic protocol under an
+// adversarial schedule. Runs are deterministic given the seed — and
+// identical for every WithShards value, so large runs can fan out across
+// cores without changing a single event.
+func ExampleRun() {
+	res, err := repro.Run(context.Background(), repro.GossipSpec{
 		Protocol:  repro.ProtoEARS,
 		N:         64,
 		F:         16,
@@ -17,26 +20,27 @@ func ExampleRunGossip() {
 		Delta:     2,
 		Adversary: repro.AdversaryStandard,
 		Seed:      42,
-	})
+	}, repro.WithShards(4))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("completed:", res.Completed)
-	fmt.Println("everyone heard everyone:", len(res.Rumors[0]) == 64-res.Crashes || len(res.Rumors[0]) == 64)
+	g := res.Gossip
+	fmt.Println("completed:", g.Completed)
+	fmt.Println("everyone heard everyone:", len(g.Rumors[0]) == 64-g.Crashes || len(g.Rumors[0]) == 64)
 	// Output:
 	// completed: true
 	// everyone heard everyone: true
 }
 
-// ExampleRunConsensus reaches binary agreement with CR-tears — the
+// ExampleRun_consensus reaches binary agreement with CR-tears — the
 // paper's constant-time, subquadratic-message consensus — on a unanimous
 // proposal (validity forces the decision).
-func ExampleRunConsensus() {
+func ExampleRun_consensus() {
 	inputs := make([]uint8, 32)
 	for i := range inputs {
 		inputs[i] = 1
 	}
-	res, err := repro.RunConsensus(repro.ConsensusConfig{
+	res, err := repro.Run(context.Background(), repro.ConsensusSpec{
 		Transport: repro.TransportTEARS,
 		N:         32,
 		F:         15,
@@ -46,16 +50,16 @@ func ExampleRunConsensus() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("decision:", res.Decision)
+	fmt.Println("decision:", res.Consensus.Decision)
 	// Output:
 	// decision: 1
 }
 
-// ExampleRunLowerBound runs the Theorem 1 adaptive adversary against the
+// ExampleRun_lowerBound runs the Theorem 1 adaptive adversary against the
 // trivial protocol: flooding is promiscuous, so the adversary extracts
 // Ω(f²) messages (Case 1 of the proof).
-func ExampleRunLowerBound() {
-	rep, err := repro.RunLowerBound(repro.LowerBoundConfig{
+func ExampleRun_lowerBound() {
+	res, err := repro.Run(context.Background(), repro.LowerBoundSpec{
 		Protocol: repro.ProtoTrivial,
 		N:        128,
 		F:        32,
@@ -65,9 +69,30 @@ func ExampleRunLowerBound() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("case:", rep.Case)
-	fmt.Println("dichotomy witnessed:", rep.Satisfied())
+	fmt.Println("case:", res.LowerBound.Case)
+	fmt.Println("dichotomy witnessed:", res.LowerBound.Satisfied())
 	// Output:
 	// case: messages
 	// dichotomy witnessed: true
+}
+
+// ExampleRunMany fans a seed sweep across a worker pool; results are
+// positional and bit-identical to a serial loop.
+func ExampleRunMany() {
+	specs := make([]repro.GossipSpec, 4)
+	for i := range specs {
+		specs[i] = repro.GossipSpec{Protocol: repro.ProtoTEARS, N: 48, Seed: int64(i)}
+	}
+	results, errs := repro.RunMany(context.Background(), specs, repro.WithWorkers(2))
+	for i := range results {
+		if errs[i] != nil {
+			panic(errs[i])
+		}
+		fmt.Printf("seed %d completed: %v\n", i, results[i].Gossip.Completed)
+	}
+	// Output:
+	// seed 0 completed: true
+	// seed 1 completed: true
+	// seed 2 completed: true
+	// seed 3 completed: true
 }

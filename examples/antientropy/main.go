@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -52,7 +53,7 @@ func run() error {
 		}
 	}
 
-	res, err := repro.RunGossip(repro.GossipConfig{
+	out, err := repro.Run(context.Background(), repro.GossipSpec{
 		Protocol:  repro.ProtoEARS,
 		N:         replicas,
 		F:         failures,
@@ -64,6 +65,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	res := out.Gossip
 
 	crashed := map[int]bool{}
 	for _, c := range res.Crashed {

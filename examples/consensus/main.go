@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -43,7 +44,7 @@ func run() error {
 	for _, tr := range []string{
 		repro.TransportDirect, repro.TransportEARS, repro.TransportSEARS, repro.TransportTEARS,
 	} {
-		res, err := repro.RunConsensus(repro.ConsensusConfig{
+		out, err := repro.Run(context.Background(), repro.ConsensusSpec{
 			Transport: tr,
 			N:         n,
 			F:         f,
@@ -56,6 +57,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("CR-%s: %w", tr, err)
 		}
+		res := out.Consensus
 		decision := "abort"
 		if res.Decision == 1 {
 			decision = "commit"

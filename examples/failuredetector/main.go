@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -33,7 +34,7 @@ func run() error {
 
 	// Crash-storm: f processes die at t=0, before sending any heartbeat —
 	// the cleanest ground truth for a detection demo.
-	res, err := repro.RunGossip(repro.GossipConfig{
+	out, err := repro.Run(context.Background(), repro.GossipSpec{
 		Protocol:  repro.ProtoSEARS,
 		N:         n,
 		F:         f,
@@ -45,6 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	res := out.Gossip
 
 	crashed := map[int]bool{}
 	for _, c := range res.Crashed {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -47,7 +48,7 @@ func run() error {
 		}
 	}
 
-	res, err := repro.RunGossip(repro.GossipConfig{
+	out, err := repro.Run(context.Background(), repro.GossipSpec{
 		Protocol:  repro.ProtoTEARS,
 		N:         servers,
 		F:         f,
@@ -59,6 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	res := out.Gossip
 
 	crashed := map[int]bool{}
 	for _, c := range res.Crashed {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -26,7 +27,7 @@ func run() error {
 
 	fmt.Printf("gossip among %d processes, up to %d crashes, unknown delays (d=4, δ=2)\n\n", n, f)
 	for _, proto := range []string{repro.ProtoTrivial, repro.ProtoEARS} {
-		res, err := repro.RunGossip(repro.GossipConfig{
+		out, err := repro.Run(context.Background(), repro.GossipSpec{
 			Protocol:  proto,
 			N:         n,
 			F:         f,
@@ -38,6 +39,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		res := out.Gossip
 		fmt.Printf("%-8s completed=%v  time=%4d steps  messages=%6d  crashes=%d\n",
 			proto, res.Completed, res.TimeSteps, res.Messages, res.Crashes)
 	}

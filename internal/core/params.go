@@ -69,6 +69,15 @@ type Params struct {
 	// large-scale sweeps (n in the tens of thousands) where the full
 	// tracker's Θ(n²) footprint per run does not fit.
 	Lean bool
+
+	// Shards mirrors sim.Config.Shards for pooled runs: when the world
+	// executes as sharded supersteps, node Steps of different shards run
+	// concurrently, and the snapshot pools' unsynchronized free lists must
+	// not be shared across them. NewNodes therefore builds one pool per
+	// shard (partitioned exactly as sim.ShardRange) and hands every node
+	// the pool of its owning shard. Pool partitioning — like pooling
+	// itself — is invisible to results. Ignored when pooling is off.
+	Shards int
 }
 
 // WithDefaults returns a copy of p with zero fields replaced by defaults.

@@ -74,6 +74,29 @@ func NewNodes(proto Protocol, p Params, seed int64) ([]sim.Node, error) {
 		return nil, fmt.Errorf("core: pool is sized for n = %d, run has N = %d",
 			p.Pool.Bits().Universe(), p.N)
 	}
+	shards := sim.EffectiveShards(p.N, p.Shards)
+	if p.Pool != nil && shards > 1 {
+		// A caller-shared pool is single-goroutine; sharded supersteps run
+		// node Steps concurrently, so the combination would be a data race.
+		return nil, fmt.Errorf("core: caller-provided Pool cannot be shared across %d shards", shards)
+	}
+	if p.Pool == nil && !p.NoPool && shards > 1 {
+		// One pool per shard, over the kernel's own partition: every node
+		// allocates from (and is released back to) storage owned by its
+		// shard, and releases happen in the superstep's serial phase.
+		pools := make([]*Pool, shards)
+		for s := range pools {
+			pools[s] = NewPool(p.N)
+		}
+		root := rng.New(seed).Fork(0x90551)
+		nodes := make([]sim.Node, p.N)
+		for i := 0; i < p.N; i++ {
+			ps := p
+			ps.Pool = pools[sim.ShardOf(p.N, shards, sim.ProcID(i))]
+			nodes[i] = proto.NewNode(sim.ProcID(i), ps, root.Fork(uint64(i)))
+		}
+		return nodes, nil
+	}
 	if p.Pool == nil && !p.NoPool {
 		p.Pool = NewPool(p.N)
 	}

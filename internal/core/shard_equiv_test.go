@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// shardedGossipRun executes one pooled protocol run at the given shard
+// count and returns the result plus the event digest.
+func shardedGossipRun(t *testing.T, proto Protocol, cfg sim.Config, preset string) (sim.Result, *sim.DigestTracer) {
+	t.Helper()
+	p := Params{N: cfg.N, F: cfg.F, Shards: cfg.Shards}
+	nodes, err := NewNodes(proto, p, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := adversary.ByName(preset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sim.NewWorld(cfg, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := sim.NewDigestTracer()
+	w.SetTracer(dig)
+	res, err := w.Run(proto.Evaluator(p.WithDefaults()))
+	if err != nil {
+		t.Fatalf("%s under %s shards=%d: %v", proto.Name(), preset, cfg.Shards, err)
+	}
+	return res, dig
+}
+
+// TestShardedProtocolsMatchSerial pins the bit-identical contract at the
+// protocol layer: every gossip protocol, under the randomized-delay and
+// crash presets (the adversaries with order-sensitive shared streams),
+// produces exactly the serial kernel's event stream at every shard count —
+// with pooling on, so the per-shard pool partition is exercised too.
+func TestShardedProtocolsMatchSerial(t *testing.T) {
+	presets := []string{adversary.PresetStandard, adversary.PresetCrashStorm, adversary.PresetStaggered}
+	for _, protoName := range Names() {
+		proto, err := ByName(protoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, preset := range presets {
+			cfg := sim.Config{N: 26, F: 5, D: 3, Delta: 2, Seed: 9}
+			ref, refDig := shardedGossipRun(t, proto, cfg, preset)
+			for _, shards := range []int{2, 3, 7, 26} {
+				scfg := cfg
+				scfg.Shards = shards
+				res, dig := shardedGossipRun(t, proto, scfg, preset)
+				if res != ref {
+					t.Fatalf("%s/%s shards=%d: result diverged:\n got %+v\nwant %+v",
+						protoName, preset, shards, res, ref)
+				}
+				if dig.Sum() != refDig.Sum() || dig.Events() != refDig.Events() {
+					t.Fatalf("%s/%s shards=%d: digest %016x/%d events, want %016x/%d",
+						protoName, preset, shards, dig.Sum(), dig.Events(), refDig.Sum(), refDig.Events())
+				}
+			}
+		}
+	}
+}
+
+// TestNewNodesShardPoolPartition checks the per-shard pool plumbing: nodes
+// of the same shard share a pool, nodes of different shards never do, and a
+// caller-provided pool is rejected for sharded runs.
+func TestNewNodesShardPoolPartition(t *testing.T) {
+	const n, shards = 11, 3
+	nodes, err := NewNodes(EARS{}, Params{N: n, Shards: shards}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools := make(map[*Pool]int) // pool -> owning shard
+	for i, nd := range nodes {
+		en, ok := nd.(*earsNode)
+		if !ok {
+			t.Fatalf("node %d is %T", i, nd)
+		}
+		s := sim.ShardOf(n, shards, sim.ProcID(i))
+		if owner, seen := pools[en.pool]; seen {
+			if owner != s {
+				t.Fatalf("node %d (shard %d) shares a pool with shard %d", i, s, owner)
+			}
+		} else {
+			pools[en.pool] = s
+		}
+	}
+	if len(pools) != shards {
+		t.Fatalf("got %d distinct pools, want %d", len(pools), shards)
+	}
+
+	if _, err := NewNodes(EARS{}, Params{N: n, Shards: shards, Pool: NewPool(n)}, 1); err == nil {
+		t.Fatal("caller-provided pool accepted for a sharded run")
+	}
+	// NoPool runs ignore Shards entirely.
+	if _, err := NewNodes(EARS{}, Params{N: n, Shards: shards, NoPool: true}, 1); err != nil {
+		t.Fatalf("NoPool sharded run rejected: %v", err)
+	}
+}

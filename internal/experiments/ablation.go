@@ -41,7 +41,7 @@ func DeltaSweep(env Env, seed int64) (*DeltaSweepResult, error) {
 			})
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	cell := 0
 	for _, proto := range protos {
 		for _, d := range ds {
@@ -110,7 +110,7 @@ func AblationShutdown(env Env, seed int64) (*ShutdownAblationResult, error) {
 			Gossip: core.Params{ShutdownC: c},
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	for i, c := range res.Cs {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("shutdown ablation c=%v: %w", c, errs[i])
@@ -158,7 +158,7 @@ func AblationEpsilon(env Env, seed int64) (*EpsilonAblationResult, error) {
 			Gossip: core.Params{Epsilon: eps},
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	for i, eps := range res.Epsilons {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("epsilon ablation ε=%v: %w", eps, errs[i])
@@ -216,7 +216,7 @@ func AblationCoin(env Env, seed int64) (*CoinAblationResult, error) {
 			SplitInputs: true,
 		}
 	}
-	ms, errs := measureConsensusGrid(specs, env.Workers)
+	ms, errs := measureConsensusGrid(specs, env)
 	for i, coin := range res.Coins {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("coin ablation %s: %w", coin, errs[i])

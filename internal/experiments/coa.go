@@ -56,7 +56,7 @@ func CostOfAsynchrony(env Env, seed int64) (*CoAResult, error) {
 			Preset: adversary.PresetStandard, Seeds: seeds,
 		})
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	if errs[0] != nil {
 		return nil, fmt.Errorf("coa sync baseline: %w", errs[0])
 	}

@@ -21,6 +21,47 @@ func TestMeasureGossipBasic(t *testing.T) {
 	}
 }
 
+// TestMeasureShardsInvisible: the shard count — per spec or via Env — only
+// changes how runs execute, never what they measure.
+func TestMeasureShardsInvisible(t *testing.T) {
+	base := GossipSpec{Proto: "tears", N: 33, F: 7, D: 2, Delta: 2, Seeds: 2}
+	serial, err := MeasureGossip(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 5
+	m, err := MeasureGossip(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, m) {
+		t.Fatalf("sharded measurement diverged:\nserial  %+v\nsharded %+v", serial, m)
+	}
+	envMs, errs := measureGossipGrid([]GossipSpec{base}, Env{Shards: 5})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if !reflect.DeepEqual(serial, envMs[0]) {
+		t.Fatalf("Env.Shards measurement diverged:\nserial %+v\nenv    %+v", serial, envMs[0])
+	}
+
+	cbase := ConsensusSpec{Transport: consensus.TransportTEARS, N: 21, F: 5, D: 2, Delta: 2, Seeds: 2}
+	cserial, err := MeasureConsensus(cbase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csharded := cbase
+	csharded.Shards = 4
+	cm, err := MeasureConsensus(csharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cserial, cm) {
+		t.Fatalf("sharded consensus measurement diverged:\nserial  %+v\nsharded %+v", cserial, cm)
+	}
+}
+
 func TestMeasureGossipSeedLabel(t *testing.T) {
 	base := GossipSpec{Proto: "ears", N: 32, F: 8, D: 2, Delta: 2, Seeds: 3}
 	legacy, err := MeasureGossip(base)

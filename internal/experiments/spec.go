@@ -39,6 +39,11 @@ type Env struct {
 	Workers int
 	// Seeds overrides the per-point repetition count (0 = scale default).
 	Seeds int
+	// Shards splits every run into this many superstep shards (0/1 =
+	// serial kernel; see sim.Config.Shards). Like Workers it only changes
+	// how runs execute, never what they measure — specs with their own
+	// Shards keep it.
+	Shards int
 }
 
 // seeds resolves the per-point repetition count.
@@ -66,6 +71,9 @@ type GossipSpec struct {
 	// Workers caps the worker pool for this spec's seed grid when the spec
 	// is measured standalone (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Shards splits each run into superstep shards (0/1 = serial kernel;
+	// results are identical for every value).
+	Shards int
 	// SeedLabel switches the spec's seed policy: empty replays the legacy
 	// run-index seeds 0..Seeds-1 (the paper tables depend on them), while
 	// a non-empty label derives each run's seed via runner.DeriveSeed, so
@@ -112,7 +120,7 @@ func protoByName(name string) (core.Protocol, error) {
 
 // MeasureGossip runs the spec over its seeds and aggregates.
 func MeasureGossip(spec GossipSpec) (Measurement, error) {
-	ms, errs := measureGossipGrid([]GossipSpec{spec}, spec.Workers)
+	ms, errs := measureGossipGrid([]GossipSpec{spec}, Env{Workers: spec.Workers})
 	return ms[0], errs[0]
 }
 
@@ -201,10 +209,13 @@ func runMeasureGrid(jobs []gridJob, workers int) ([]Measurement, []error) {
 }
 
 // measureGossipGrid measures many gossip specs on one worker pool.
-func measureGossipGrid(specs []GossipSpec, workers int) ([]Measurement, []error) {
+func measureGossipGrid(specs []GossipSpec, env Env) ([]Measurement, []error) {
 	jobs := make([]gridJob, len(specs))
 	for i, spec := range specs {
 		spec := spec.withDefaults()
+		if spec.Shards == 0 {
+			spec.Shards = env.Shards
+		}
 		// Resolve the protocol up front (serial MeasureGossip fails before
 		// running any seed on an unknown name).
 		proto, err := protoByName(spec.Proto)
@@ -221,13 +232,14 @@ func measureGossipGrid(specs []GossipSpec, workers int) ([]Measurement, []error)
 			},
 		}
 	}
-	return runMeasureGrid(jobs, workers)
+	return runMeasureGrid(jobs, env.Workers)
 }
 
 func runGossipOnce(proto core.Protocol, spec GossipSpec, seed int64) (sim.Result, error) {
-	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
+	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed, Shards: spec.Shards}
 	p := spec.Gossip
 	p.N, p.F = spec.N, spec.F
+	p.Shards = spec.Shards
 	// Grid cells run concurrently; a caller-shared snapshot pool would be a
 	// data race, so every run builds its own (results are identical either
 	// way — pooling never touches randomness or metrics).
@@ -274,6 +286,8 @@ type ConsensusSpec struct {
 	// Workers caps the worker pool for this spec's seed grid when the spec
 	// is measured standalone (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// Shards splits each run into superstep shards, as in GossipSpec.
+	Shards int
 	// SeedLabel switches the seed policy, as in GossipSpec.
 	SeedLabel string
 }
@@ -291,15 +305,18 @@ func (s ConsensusSpec) withDefaults() ConsensusSpec {
 
 // MeasureConsensus runs the spec over its seeds and aggregates.
 func MeasureConsensus(spec ConsensusSpec) (Measurement, error) {
-	ms, errs := measureConsensusGrid([]ConsensusSpec{spec}, spec.Workers)
+	ms, errs := measureConsensusGrid([]ConsensusSpec{spec}, Env{Workers: spec.Workers})
 	return ms[0], errs[0]
 }
 
 // measureConsensusGrid is measureGossipGrid for consensus specs.
-func measureConsensusGrid(specs []ConsensusSpec, workers int) ([]Measurement, []error) {
+func measureConsensusGrid(specs []ConsensusSpec, env Env) ([]Measurement, []error) {
 	jobs := make([]gridJob, len(specs))
 	for i, spec := range specs {
 		spec := spec.withDefaults()
+		if spec.Shards == 0 {
+			spec.Shards = env.Shards
+		}
 		jobs[i] = gridJob{
 			seeds: spec.Seeds,
 			run:   func(seed int64) (sim.Result, error) { return runConsensusOnce(spec, seed) },
@@ -313,11 +330,13 @@ func measureConsensusGrid(specs []ConsensusSpec, workers int) ([]Measurement, []
 			},
 		}
 	}
-	return runMeasureGrid(jobs, workers)
+	return runMeasureGrid(jobs, env.Workers)
 }
 
 func runConsensusOnce(spec ConsensusSpec, seed int64) (sim.Result, error) {
-	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed}
+	// Consensus transports embed their gossip nodes unpooled, so the shard
+	// count only needs to reach the kernel config.
+	cfg := sim.Config{N: spec.N, F: spec.F, D: spec.D, Delta: spec.Delta, Seed: seed, Shards: spec.Shards}
 	p := consensus.Params{
 		N: spec.N, F: spec.F,
 		Transport: spec.Transport,

@@ -42,7 +42,7 @@ func SchedSweep(env Env, seed int64) (*SchedSweepResult, error) {
 			})
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	cell := 0
 	for _, proto := range protos {
 		for _, delta := range deltas {
@@ -120,7 +120,7 @@ func FSweep(env Env, seed int64) (*FSweepResult, error) {
 			Preset: adversary.PresetCrashStorm, Seeds: env.seeds(),
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	for i, f := range fs {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("f sweep f=%d: %w", f, errs[i])
@@ -171,7 +171,7 @@ func Crossover(env Env, seed int64) (*CrossoverResult, error) {
 			})
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	cell := 0
 	for _, n := range ns {
 		for _, proto := range []string{"trivial", "ears"} {

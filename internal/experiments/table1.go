@@ -80,7 +80,7 @@ func Table1(env Env, d, delta int) (*Table1Result, error) {
 			specs = append(specs, spec)
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	cell := 0
 	for _, tp := range table1Protos {
 		var nsX, timeY, msgY []float64

@@ -58,7 +58,7 @@ func Table2(env Env, d, delta int) (*Table2Result, error) {
 			})
 		}
 	}
-	ms, errs := measureConsensusGrid(specs, env.Workers)
+	ms, errs := measureConsensusGrid(specs, env)
 	cell := 0
 	for _, tt := range table2Transports {
 		var nsX, timeY, msgY []float64

@@ -88,7 +88,7 @@ func TopologySweep(env Env, seed int64) (*TopologySweepResult, error) {
 			})
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	cell := 0
 	for _, family := range topoFamilies() {
 		for _, proto := range protos {
@@ -173,7 +173,7 @@ func NPSweep(env Env, seed int64) (*NPSweepResult, error) {
 			Topology: topology.FamilyErdosRenyi, TopoParam: p,
 		}
 	}
-	ms, errs := measureGossipGrid(specs, env.Workers)
+	ms, errs := measureGossipGrid(specs, env)
 	for i, c := range cs {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("np sweep c=%.1f: %w", c, errs[i])

@@ -129,7 +129,9 @@ func TestLiveRumorSetsConsistent(t *testing.T) {
 	// scheduler's genuine asynchrony.
 	cfg := liveCfg(20)
 	cfg.Crashes = map[sim.ProcID]time.Duration{5: time.Millisecond}
-	params := core.Params{N: cfg.N, F: 1}
+	// NoPool mirrors RunGossip's own discipline: pooled snapshots are
+	// single-goroutine, and the cluster steps nodes concurrently.
+	params := core.Params{N: cfg.N, F: 1, NoPool: true}
 	nodes, err := core.NewNodes(core.EARS{}, params, cfg.Seed)
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -36,6 +37,13 @@ type Execution struct {
 	TwinRan    bool
 	TwinDigest uint64
 	TwinEvents int64
+	// ShardTwinRan marks that the sharded twin executed; ShardTwinShards is
+	// the resolved shard count it used (ShardsAuto resolved to CPUs), and
+	// ShardDigest/ShardEvents are its fingerprint.
+	ShardTwinRan    bool
+	ShardTwinShards int
+	ShardDigest     uint64
+	ShardEvents     int64
 
 	view  sim.View
 	nodes []sim.Node
@@ -43,7 +51,8 @@ type Execution struct {
 
 // Execute runs a scenario through the pooled sim kernel with the checker
 // and digest tracers riding along, then — for sampled specs — repeats it
-// with pooling disabled to witness the pooled ≡ unpooled contract. The
+// with pooling disabled to witness the pooled ≡ unpooled contract, and/or
+// through the sharded superstep kernel to witness sharded ≡ serial. The
 // returned error reports an unrunnable spec; runtime failures (timeouts,
 // evaluator rejections, invariant breaches) are data in the Execution,
 // judged by CheckAll.
@@ -64,7 +73,7 @@ func ExecuteTraced(spec Spec, extra sim.Tracer) (*Execution, error) {
 	ex := &Execution{Spec: spec}
 	chk := sim.NewInvariantChecker(spec.N, spec.F, sim.Time(spec.D), spec.maxGap())
 	dig := sim.NewDigestTracer()
-	view, nodes, res, runErr, err := runOnce(spec, false, sim.Tee(chk, dig, extra))
+	view, nodes, res, runErr, err := runOnce(spec, false, 0, sim.Tee(chk, dig, extra))
 	if err != nil {
 		return nil, err
 	}
@@ -74,18 +83,32 @@ func ExecuteTraced(spec Spec, extra sim.Tracer) (*Execution, error) {
 
 	if spec.CheckEquivalence {
 		twin := sim.NewDigestTracer()
-		if _, _, _, _, err := runOnce(spec, true, twin); err != nil {
+		if _, _, _, _, err := runOnce(spec, true, 0, twin); err != nil {
 			return nil, err
 		}
 		ex.TwinRan = true
 		ex.TwinDigest, ex.TwinEvents = twin.Sum(), twin.Events()
 	}
+	if spec.Shards != 0 {
+		shards := spec.Shards
+		if shards == ShardsAuto {
+			shards = runtime.NumCPU()
+		}
+		twin := sim.NewDigestTracer()
+		if _, _, _, _, err := runOnce(spec, false, shards, twin); err != nil {
+			return nil, err
+		}
+		ex.ShardTwinRan = true
+		ex.ShardTwinShards = shards
+		ex.ShardDigest, ex.ShardEvents = twin.Sum(), twin.Events()
+	}
 	return ex, nil
 }
 
 // runOnce executes the spec once. noPool disables snapshot pooling (the
-// twin run); the tracer observes every event.
-func runOnce(spec Spec, noPool bool, tracer sim.Tracer) (sim.View, []sim.Node, sim.Result, error, error) {
+// unpooled twin); shards > 1 selects the sharded superstep kernel (the
+// sharded twin); the tracer observes every event.
+func runOnce(spec Spec, noPool bool, shards int, tracer sim.Tracer) (sim.View, []sim.Node, sim.Result, error, error) {
 	proto, err := protoByName(spec.Protocol)
 	if err != nil {
 		return nil, nil, sim.Result{}, nil, err
@@ -94,7 +117,7 @@ func runOnce(spec Spec, noPool bool, tracer sim.Tracer) (sim.View, []sim.Node, s
 	if err != nil {
 		return nil, nil, sim.Result{}, nil, err
 	}
-	params := core.Params{N: spec.N, F: spec.F, Graph: graph, NoPool: noPool}
+	params := core.Params{N: spec.N, F: spec.F, Graph: graph, NoPool: noPool, Shards: shards}
 	nodes, err := core.NewNodes(proto, params, spec.Seed)
 	if err != nil {
 		return nil, nil, sim.Result{}, nil, err
@@ -105,6 +128,7 @@ func runOnce(spec Spec, noPool bool, tracer sim.Tracer) (sim.View, []sim.Node, s
 		Seed:     spec.Seed,
 		MaxSteps: sim.Time(spec.MaxSteps),
 		Graph:    graph,
+		Shards:   shards,
 	}
 	if kernelFault != nil {
 		kernelFault(&cfg)

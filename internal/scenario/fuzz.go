@@ -55,8 +55,10 @@ type Summary struct {
 	// Unpromised counts runs carrying no completion promise (naive).
 	Completed  int `json:"completed"`
 	Unpromised int `json:"unpromised"`
-	// EquivalenceChecked counts runs that executed the unpooled twin.
+	// EquivalenceChecked counts runs that executed the unpooled twin;
+	// ShardChecked counts runs that executed the sharded twin.
 	EquivalenceChecked int `json:"equivalence_checked"`
+	ShardChecked       int `json:"shard_checked"`
 	// Crashes and Messages total the injected crashes and simulated
 	// messages across the session.
 	Crashes  int64 `json:"crashes"`
@@ -75,8 +77,8 @@ type Summary struct {
 }
 
 // SummarySchema identifies the Summary JSON layout. v2 added the
-// envelope-tightness block.
-const SummarySchema = "repro.fuzz.summary/v2"
+// envelope-tightness block; v3 the sharded-twin counter.
+const SummarySchema = "repro.fuzz.summary/v3"
 
 // Encode renders the summary as deterministic, indented JSON with a
 // trailing newline. Map keys marshal sorted, so equal summaries are equal
@@ -93,13 +95,14 @@ func (s *Summary) Encode() ([]byte, error) {
 
 // cellOutcome is one scenario's contribution to the summary.
 type cellOutcome struct {
-	protocol   string
-	completed  bool
-	unpromised bool
-	twinRan    bool
-	crashes    int
-	messages   int64
-	report     *Report
+	protocol     string
+	completed    bool
+	unpromised   bool
+	twinRan      bool
+	shardTwinRan bool
+	crashes      int
+	messages     int64
+	report       *Report
 
 	// Envelope tightness ratios (actual/bound); the ok flags mark whether
 	// the corresponding envelope applied to this run.
@@ -168,6 +171,9 @@ func Fuzz(opts Options) (*Summary, error) {
 		if out.twinRan {
 			sum.EquivalenceChecked++
 		}
+		if out.shardTwinRan {
+			sum.ShardChecked++
+		}
 		sum.Crashes += int64(out.crashes)
 		sum.Messages += out.messages
 		if out.msgTightOK {
@@ -205,6 +211,7 @@ func (s *Summary) Merge(o *Summary) {
 	s.Completed += o.Completed
 	s.Unpromised += o.Unpromised
 	s.EquivalenceChecked += o.EquivalenceChecked
+	s.ShardChecked += o.ShardChecked
 	s.Crashes += o.Crashes
 	s.Messages += o.Messages
 	s.Skipped += o.Skipped
@@ -229,12 +236,13 @@ func fuzzOne(master, index int64, shrinkBudget int) (cellOutcome, error) {
 		return cellOutcome{}, err
 	}
 	out := cellOutcome{
-		protocol:   spec.Protocol,
-		completed:  ex.Res.Completed,
-		unpromised: !spec.ExpectComplete,
-		twinRan:    ex.TwinRan,
-		crashes:    ex.Res.Crashes,
-		messages:   ex.Res.Messages,
+		protocol:     spec.Protocol,
+		completed:    ex.Res.Completed,
+		unpromised:   !spec.ExpectComplete,
+		twinRan:      ex.TwinRan,
+		shardTwinRan: ex.ShardTwinRan,
+		crashes:      ex.Res.Crashes,
+		messages:     ex.Res.Messages,
 	}
 	if bound := messageEnvelope(spec); bound > 0 {
 		out.msgTight = float64(ex.Res.Messages) / bound

@@ -40,6 +40,10 @@ const (
 	// checks is global (a pooling bug is not scenario-local), so a 1-in-8
 	// sample across thousands of nightly runs is dense coverage.
 	equivalenceEvery = 8
+	// shardEvery samples the sharded≡serial twin-run oracle at the same
+	// 1-in-8 density, offset so the two twins land on different scenarios
+	// and no single run pays for both.
+	shardEvery, shardOffset = 8, 3
 	// overbudgetNum/Den is the fraction of crash plans that deliberately
 	// list more victims than the budget f, exercising the kernel's budget
 	// enforcement (the crash-budget oracle checks it held).
@@ -167,8 +171,22 @@ func Generate(master, index int64) Spec {
 	s.Majority = s.Protocol == core.NameTEARS
 	s.ExpectComplete = s.Protocol != core.NameNaive
 
+	// Sharded twin: sampled like the pool twin. Drawn last so the field's
+	// introduction left every earlier draw — and thus every historical
+	// (master, index) → scenario mapping up to this field — intact. The
+	// domain covers the identity shard count, small counts that split the
+	// id range unevenly, and the machine's CPU count.
+	if index%shardEvery == shardOffset {
+		s.Shards = genShardDomain[r.Intn(len(genShardDomain))]
+	}
+
 	return s
 }
+
+// genShardDomain is the shard-count draw table for the sharded≡serial
+// twin: 1 (the sharding-disabled identity), 2 and 7 (uneven splits of
+// every generated n), and one shard per CPU (resolved at execution).
+var genShardDomain = []int{1, 2, 7, ShardsAuto}
 
 // drawProtocol picks a protocol from the weighted table.
 func drawProtocol(r *rng.RNG) string {

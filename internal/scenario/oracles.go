@@ -31,17 +31,18 @@ type OracleViolation struct {
 // Oracle names. The kernel-witness oracles share names with the checker's
 // rules (sim.Rule*); the rest are scenario-level.
 const (
-	OracleCrashBudget     = sim.RuleCrashBudget
-	OracleDelayClamp      = sim.RuleDelayClamp
-	OraclePostCrash       = sim.RulePostCrash
-	OracleScheduleGap     = sim.RuleScheduleGap
-	OracleEventOrder      = sim.RuleEventOrder
-	OracleCompletion      = "completion"
-	OracleValidity        = "validity"
-	OracleMessageEnvelope = "message-envelope"
-	OracleTimeEnvelope    = "time-envelope"
-	OracleOffEdge         = "off-edge"
-	OraclePoolEquivalence = "pool-equivalence"
+	OracleCrashBudget      = sim.RuleCrashBudget
+	OracleDelayClamp       = sim.RuleDelayClamp
+	OraclePostCrash        = sim.RulePostCrash
+	OracleScheduleGap      = sim.RuleScheduleGap
+	OracleEventOrder       = sim.RuleEventOrder
+	OracleCompletion       = "completion"
+	OracleValidity         = "validity"
+	OracleMessageEnvelope  = "message-envelope"
+	OracleTimeEnvelope     = "time-envelope"
+	OracleOffEdge          = "off-edge"
+	OraclePoolEquivalence  = "pool-equivalence"
+	OracleShardEquivalence = "shard-equivalence"
 )
 
 // Catalog returns the full oracle catalog, in the order checks run.
@@ -86,6 +87,11 @@ func Catalog() []Oracle {
 			Name:  OraclePoolEquivalence,
 			Doc:   "a pooled run and its unpooled twin execute identical event streams (sampled)",
 			Check: checkPoolEquivalence,
+		},
+		{
+			Name:  OracleShardEquivalence,
+			Doc:   "a serial run and its sharded-superstep twin execute identical event streams (sampled)",
+			Check: checkShardEquivalence,
 		},
 	}
 	return cat
@@ -325,6 +331,19 @@ func checkPoolEquivalence(ex *Execution) string {
 	if ex.Digest != ex.TwinDigest || ex.Events != ex.TwinEvents {
 		return fmt.Sprintf("pooled run digest %016x (%d events) != unpooled %016x (%d events)",
 			ex.Digest, ex.Events, ex.TwinDigest, ex.TwinEvents)
+	}
+	return ""
+}
+
+// checkShardEquivalence compares the serial run's event stream against the
+// sharded twin's (when the twin ran): sharding must be invisible.
+func checkShardEquivalence(ex *Execution) string {
+	if !ex.ShardTwinRan {
+		return ""
+	}
+	if ex.Digest != ex.ShardDigest || ex.Events != ex.ShardEvents {
+		return fmt.Sprintf("serial run digest %016x (%d events) != %d-shard run %016x (%d events)",
+			ex.Digest, ex.Events, ex.ShardTwinShards, ex.ShardDigest, ex.ShardEvents)
 	}
 	return ""
 }

@@ -42,8 +42,12 @@ func TestGenerateDeterministic(t *testing.T) {
 // guarantees the oracles assume.
 func TestGenerateDomain(t *testing.T) {
 	sawTopo, sawOverbudget, sawSync := false, false, false
+	sawShards := map[int]bool{}
 	for index := int64(0); index < 400; index++ {
 		s := Generate(3, index)
+		if s.Shards != 0 {
+			sawShards[s.Shards] = true
+		}
 		if s.N < genMinN || s.N > genMaxN {
 			t.Fatalf("index %d: n = %d out of range", index, s.N)
 		}
@@ -73,6 +77,11 @@ func TestGenerateDomain(t *testing.T) {
 		t.Fatalf("domain corners unexercised: topo=%v overbudget=%v sync=%v",
 			sawTopo, sawOverbudget, sawSync)
 	}
+	for _, want := range genShardDomain {
+		if !sawShards[want] {
+			t.Fatalf("shard domain corner %d unexercised (saw %v)", want, sawShards)
+		}
+	}
 }
 
 // TestExecuteDeterministic: executing the same spec twice yields identical
@@ -93,6 +102,9 @@ func TestExecuteDeterministic(t *testing.T) {
 		}
 		if a.TwinRan && (a.Digest != a.TwinDigest || a.Events != a.TwinEvents) {
 			t.Fatalf("index %d: pooled and unpooled twins diverge", index)
+		}
+		if a.ShardTwinRan && (a.Digest != a.ShardDigest || a.Events != a.ShardEvents) {
+			t.Fatalf("index %d: serial and %d-shard twins diverge", index, a.ShardTwinShards)
 		}
 	}
 }
@@ -119,6 +131,9 @@ func TestFuzzSmoke(t *testing.T) {
 	}
 	if sum.EquivalenceChecked == 0 {
 		t.Fatal("no equivalence twins sampled")
+	}
+	if sum.ShardChecked == 0 {
+		t.Fatal("no sharded twins sampled")
 	}
 }
 
@@ -184,6 +199,7 @@ func TestSpecValidateRejects(t *testing.T) {
 		{func(s *Spec) { s.Delay.Kind = "wormhole" }, "unknown delay"},
 		{func(s *Spec) { s.Crashes = []CrashEvent{{At: 0, Proc: s.N}} }, "out-of-range"},
 		{func(s *Spec) { s.Topology = "hypercube-of-doom" }, "unknown family"},
+		{func(s *Spec) { s.Shards = ShardsAuto - 1 }, "Shards"},
 	}
 	for _, tc := range cases {
 		s := clone(good)
@@ -211,7 +227,7 @@ func TestOracleCatalogShape(t *testing.T) {
 	for _, must := range []string{
 		OracleCrashBudget, OracleDelayClamp, OraclePostCrash, OracleScheduleGap,
 		OracleCompletion, OracleValidity, OracleMessageEnvelope, OracleTimeEnvelope,
-		OraclePoolEquivalence,
+		OraclePoolEquivalence, OracleShardEquivalence,
 	} {
 		if !names[must] {
 			t.Fatalf("catalog lacks the %q oracle", must)
@@ -246,6 +262,30 @@ func TestOracleCompletionFiresOnUnderDelivery(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("completion oracle silent on an under-delivering scenario: %+v", violations)
+	}
+}
+
+// TestOracleShardEquivalenceFires: the sharded≡serial oracle reports a
+// digest divergence (synthesized here — the engine's own equivalence is
+// pinned by the sim and core test suites) and stays silent otherwise.
+func TestOracleShardEquivalenceFires(t *testing.T) {
+	spec := Generate(1, shardOffset)
+	if spec.Shards == 0 {
+		t.Fatalf("index %d should draw a shard count", shardOffset)
+	}
+	ex, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.ShardTwinRan {
+		t.Fatal("sharded twin did not run")
+	}
+	if detail := checkShardEquivalence(ex); detail != "" {
+		t.Fatalf("oracle fired on a clean run: %s", detail)
+	}
+	ex.ShardDigest++
+	if detail := checkShardEquivalence(ex); detail == "" {
+		t.Fatal("oracle silent on a diverged sharded twin")
 	}
 }
 

@@ -34,9 +34,13 @@ func Shrink(spec Spec, oracle string, budget int) (Spec, int) {
 		budget = DefaultShrinkBudget
 	}
 	// The pooled≡unpooled twin doubles every candidate's cost and only the
-	// pool-equivalence oracle needs it.
+	// pool-equivalence oracle needs it; likewise the sharded twin and the
+	// shard-equivalence oracle.
 	if oracle != OraclePoolEquivalence {
 		spec.CheckEquivalence = false
+	}
+	if oracle != OracleShardEquivalence {
+		spec.Shards = 0
 	}
 	runs := 0
 	stillFails := func(cand Spec) bool {
@@ -125,6 +129,15 @@ func candidates(s Spec) []Spec {
 	}
 	if s.Schedule.Kind != SchedEvery {
 		add(func(c *Spec) { c.Schedule = ScheduleSpec{Kind: SchedEvery} })
+	}
+	// Fewer shards: pin the auto sentinel to a concrete count, then try
+	// the smallest count that still shards (a shard-equivalence failure
+	// on 2 shards is the easiest to step through).
+	if s.Shards == ShardsAuto {
+		add(func(c *Spec) { c.Shards = 7 })
+	}
+	if s.Shards > 2 {
+		add(func(c *Spec) { c.Shards = 2 })
 	}
 	// The paper's model: back to the clique.
 	if s.Topology != "" {

@@ -123,7 +123,19 @@ type Spec struct {
 	// requires an identical event digest (pooled ≡ unpooled), sampled on a
 	// subset of runs because it doubles the cost.
 	CheckEquivalence bool `json:"check_equivalence,omitempty"`
+	// Shards, when non-zero, re-runs the scenario through the sharded
+	// superstep kernel with this shard count and requires an identical
+	// event digest (sharded ≡ serial). The primary run always uses the
+	// serial kernel, so golden digests and every other oracle are
+	// unaffected. ShardsAuto resolves to the machine's CPU count at
+	// execution; the digest contract makes that machine dependence
+	// harmless — any shard count must reproduce the same stream.
+	Shards int `json:"shards,omitempty"`
 }
+
+// ShardsAuto is the Spec.Shards sentinel for "one shard per CPU",
+// resolved at execution time.
+const ShardsAuto = -1
 
 // Validate checks that the spec describes a runnable scenario.
 func (s Spec) Validate() error {
@@ -139,6 +151,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: d = %d, δ = %d, need both >= 1", s.D, s.Delta)
 	case s.MaxSteps < 0:
 		return fmt.Errorf("scenario: MaxSteps = %d, must be >= 0", s.MaxSteps)
+	case s.Shards < ShardsAuto:
+		return fmt.Errorf("scenario: Shards = %d, must be >= 0 or ShardsAuto", s.Shards)
 	}
 	switch s.Schedule.Kind {
 	case SchedEvery, SchedStride, SchedFixedStride, SchedSkewed:
@@ -263,7 +277,14 @@ func (s Spec) Label() string {
 	if topo == "" {
 		topo = topology.FamilyComplete
 	}
-	return fmt.Sprintf("%s n=%d f=%d d=%d δ=%d %s/%s/%d-crashes topo=%s seed=%d",
+	label := fmt.Sprintf("%s n=%d f=%d d=%d δ=%d %s/%s/%d-crashes topo=%s seed=%d",
 		s.Protocol, s.N, s.F, s.D, s.Delta,
 		s.Schedule.Kind, s.Delay.Kind, len(s.Crashes), topo, s.Seed)
+	switch {
+	case s.Shards == ShardsAuto:
+		label += " shards=auto"
+	case s.Shards != 0:
+		label += fmt.Sprintf(" shards=%d", s.Shards)
+	}
+	return label
 }

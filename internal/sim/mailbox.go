@@ -24,6 +24,7 @@ type mailbox struct {
 	heads  []*msgBlock
 	tails  []*msgBlock
 	counts []int32
+	lo     int // first destination id this mailbox serves (sharded worlds)
 	free   *msgBlock
 
 	allocated int        // blocks ever created (diagnostics)
@@ -38,11 +39,18 @@ type mailbox struct {
 // blockSlab is the number of blocks allocated per slab.
 const blockSlab = 16
 
-// init prepares the mailbox for n destinations.
-func (mb *mailbox) init(n int) {
-	mb.heads = make([]*msgBlock, n)
-	mb.tails = make([]*msgBlock, n)
-	mb.counts = make([]int32, n)
+// init prepares the mailbox for destinations 0..n-1.
+func (mb *mailbox) init(n int) { mb.initRange(0, n) }
+
+// initRange prepares the mailbox for the destination range [lo, hi) — the
+// id-range slice a shard owns. Storage is sized to the range, not to the
+// full process count, so a sharded world's aggregate mailbox memory stays
+// O(n), not O(shards·n).
+func (mb *mailbox) initRange(lo, hi int) {
+	mb.lo = lo
+	mb.heads = make([]*msgBlock, hi-lo)
+	mb.tails = make([]*msgBlock, hi-lo)
+	mb.counts = make([]int32, hi-lo)
 }
 
 func (mb *mailbox) getBlock() *msgBlock {
@@ -76,7 +84,7 @@ func (mb *mailbox) putBlock(b *msgBlock) {
 
 // enqueue appends m to its destination's queue.
 func (mb *mailbox) enqueue(m Message) {
-	to := int(m.To)
+	to := int(m.To) - mb.lo
 	t := mb.tails[to]
 	if t == nil || t.n == msgBlockCap {
 		nb := mb.getBlock()
@@ -98,12 +106,13 @@ func (mb *mailbox) enqueue(m Message) {
 }
 
 // count returns the number of undelivered messages destined to p.
-func (mb *mailbox) count(p int) int { return int(mb.counts[p]) }
+func (mb *mailbox) count(p int) int { return int(mb.counts[p-mb.lo]) }
 
 // drain appends every message for p whose ReadyAt has arrived to inbox in
 // queue order, keeps the not-yet-ready messages in order, recycles every
 // block the kept messages no longer need, and returns the extended inbox.
 func (mb *mailbox) drain(p int, now Time, inbox []Message) []Message {
+	p -= mb.lo
 	if mb.counts[p] == 0 {
 		return inbox
 	}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestShardRangeCoversAndShardOfAgrees(t *testing.T) {
+	cases := []struct{ n, shards int }{
+		{1, 1}, {7, 3}, {10, 3}, {16, 16}, {33, 7}, {100, 8}, {101, 13},
+	}
+	for _, c := range cases {
+		prevHi := 0
+		for s := 0; s < c.shards; s++ {
+			lo, hi := ShardRange(c.n, c.shards, s)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", c.n, c.shards, s, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("n=%d shards=%d: shard %d is empty [%d,%d)", c.n, c.shards, s, lo, hi)
+			}
+			if sz := hi - lo; sz < c.n/c.shards || sz > c.n/c.shards+1 {
+				t.Fatalf("n=%d shards=%d: shard %d has unbalanced size %d", c.n, c.shards, s, sz)
+			}
+			for p := lo; p < hi; p++ {
+				if got := ShardOf(c.n, c.shards, ProcID(p)); got != s {
+					t.Fatalf("n=%d shards=%d: ShardOf(%d) = %d, want %d", c.n, c.shards, p, got, s)
+				}
+			}
+			prevHi = hi
+		}
+		if prevHi != c.n {
+			t.Fatalf("n=%d shards=%d: ranges end at %d", c.n, c.shards, prevHi)
+		}
+	}
+}
+
+func TestEffectiveShards(t *testing.T) {
+	cases := []struct{ n, in, want int }{
+		{10, -3, 1}, {10, 0, 1}, {10, 1, 1}, {10, 2, 2}, {10, 10, 10}, {10, 64, 10}, {1, 8, 1},
+	}
+	for _, c := range cases {
+		if got := EffectiveShards(c.n, c.in); got != c.want {
+			t.Fatalf("EffectiveShards(%d, %d) = %d, want %d", c.n, c.in, got, c.want)
+		}
+	}
+}
+
+func TestShardConfigValidate(t *testing.T) {
+	bad := []Config{
+		{N: 4, F: 0, D: 1, Delta: 1, Shards: -1},
+		{N: 4, F: 0, D: 1, Delta: 1, ShardWorkers: -2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, c)
+		}
+	}
+	good := Config{N: 4, F: 0, D: 1, Delta: 1, Shards: 64, ShardWorkers: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good sharded config rejected: %v", err)
+	}
+}
+
+// chatterNode keeps a multi-step conversation going: for its first `rounds`
+// scheduled steps it sends to a few random targets (self-sends included),
+// then it goes quiescent. Randomness comes from a private per-node stream,
+// mirroring how the protocol layer seeds nodes.
+type chatterNode struct {
+	id     ProcID
+	n      int
+	r      *rng.RNG
+	rounds int
+	heard  int
+}
+
+func (c *chatterNode) ID() ProcID { return c.id }
+
+func (c *chatterNode) Step(now Time, inbox []Message, out *Outbox) {
+	c.heard += len(inbox)
+	if c.rounds <= 0 {
+		return
+	}
+	c.rounds--
+	for k := 1 + c.r.Intn(3); k > 0; k-- {
+		out.Send(ProcID(c.r.Intn(c.n)), "chatter")
+	}
+}
+
+func (c *chatterNode) Quiescent() bool { return c.rounds <= 0 }
+
+// stochasticAdv schedules a random subset of processes in random order,
+// draws every delivery delay from one shared stream (the global-draw-order
+// stressor: a sharded kernel only reproduces these draws if it replays
+// sends in exact serial order), and crashes a couple of processes early on.
+type stochasticAdv struct {
+	r      *rng.RNG
+	crash  []ProcID
+	perm   []int
+	permAt Time
+}
+
+func (a *stochasticAdv) Schedule(tm Time, v View, buf []ProcID) []ProcID {
+	a.perm = a.r.PermInto(a.perm, v.N())
+	a.permAt = tm
+	for _, p := range a.perm {
+		if a.r.Bool(0.2) {
+			continue // skipped this step; scheduled again soon enough
+		}
+		buf = append(buf, ProcID(p))
+	}
+	return buf
+}
+
+func (a *stochasticAdv) Delay(Time, ProcID, ProcID) Time {
+	return Time(1 + a.r.Intn(4))
+}
+
+func (a *stochasticAdv) Crashes(tm Time, _ View, buf []ProcID) []ProcID {
+	for _, c := range a.crash {
+		if Time(c)%3 == tm%3 { // stagger the planned crashes over steps
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// chatterRun executes one chatter world and returns its result, digest and
+// a metrics snapshot.
+func chatterRun(t *testing.T, cfg Config, g topology.Graph) (Result, *DigestTracer, Metrics) {
+	t.Helper()
+	cfg.Graph = g
+	root := rng.New(cfg.Seed).Fork(77)
+	nodes := make([]Node, cfg.N)
+	for i := range nodes {
+		nodes[i] = &chatterNode{id: ProcID(i), n: cfg.N, r: root.Fork(uint64(i)), rounds: 5}
+	}
+	adv := &stochasticAdv{r: rng.New(cfg.Seed).Fork(88), crash: []ProcID{2, 9}}
+	w, err := NewWorld(cfg, nodes, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig := NewDigestTracer()
+	w.SetTracer(dig)
+	res, err := w.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dig, *w.Metrics()
+}
+
+// requireSameRun asserts two runs were event-for-event identical.
+func requireSameRun(t *testing.T, label string, res, ref Result, dig, refDig *DigestTracer, m, refM Metrics) {
+	t.Helper()
+	if res != ref {
+		t.Fatalf("%s: Result diverged:\n got %+v\nwant %+v", label, res, ref)
+	}
+	if dig.Sum() != refDig.Sum() || dig.Events() != refDig.Events() {
+		t.Fatalf("%s: digest diverged: got %016x/%d events, want %016x/%d events",
+			label, dig.Sum(), dig.Events(), refDig.Sum(), refDig.Events())
+	}
+	if m.Messages != refM.Messages || m.Bytes != refM.Bytes ||
+		m.SizedMessages != refM.SizedMessages || m.Crashes != refM.Crashes ||
+		m.LastSendAt != refM.LastSendAt || m.OffEdgeDrops != refM.OffEdgeDrops {
+		t.Fatalf("%s: scalar metrics diverged:\n got %+v\nwant %+v", label, m, refM)
+	}
+	for p := range refM.SentBy {
+		if m.SentBy[p] != refM.SentBy[p] || m.DeliveredTo[p] != refM.DeliveredTo[p] || m.Steps[p] != refM.Steps[p] {
+			t.Fatalf("%s: per-process metrics diverged at %d: sent %d/%d delivered %d/%d steps %d/%d",
+				label, p, m.SentBy[p], refM.SentBy[p], m.DeliveredTo[p], refM.DeliveredTo[p], m.Steps[p], refM.Steps[p])
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the kernel-level bit-identity contract: the
+// same configuration run with every shard count (including degenerate and
+// clamped ones) must produce the serial kernel's exact event stream,
+// results and metrics — under a stochastic schedule, shared-stream delays
+// and mid-run crashes.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, n := range []int{5, 33} {
+		cfg := Config{N: n, F: 2, D: 4, Delta: 8, Seed: 42}
+		ref, refDig, refM := chatterRun(t, cfg, nil)
+		if ref.Messages == 0 {
+			t.Fatal("reference run sent no messages; test is vacuous")
+		}
+		for _, shards := range []int{1, 2, 3, 7, n, 2 * n} {
+			scfg := cfg
+			scfg.Shards = shards
+			res, dig, m := chatterRun(t, scfg, nil)
+			requireSameRun(t, labelf("n=%d shards=%d", n, shards), res, ref, dig, refDig, m, refM)
+		}
+	}
+}
+
+// TestShardedMatchesSerialOnGraph repeats the contract on a sparse topology,
+// where the off-edge filter must run before each delay draw: one skipped
+// draw would shift the adversary's whole delay stream.
+func TestShardedMatchesSerialOnGraph(t *testing.T) {
+	g, err := topology.Build(topology.Spec{Family: topology.FamilyRing, N: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 24, F: 1, D: 3, Delta: 8, Seed: 11}
+	ref, refDig, refM := chatterRun(t, cfg, g)
+	if ref.OffEdgeDrops == 0 {
+		t.Fatal("reference run dropped nothing off-edge; test is vacuous")
+	}
+	for _, shards := range []int{2, 5, 24} {
+		scfg := cfg
+		scfg.Shards = shards
+		res, dig, m := chatterRun(t, scfg, g)
+		requireSameRun(t, labelf("graph shards=%d", shards), res, ref, dig, refDig, m, refM)
+	}
+}
+
+// TestShardWorkersInvisible pins that the worker cap is pure mechanism:
+// any worker count yields the same run.
+func TestShardWorkersInvisible(t *testing.T) {
+	cfg := Config{N: 20, F: 0, D: 2, Delta: 8, Seed: 3, Shards: 6}
+	ref, refDig, refM := chatterRun(t, cfg, nil)
+	for _, workers := range []int{1, 2, 16} {
+		scfg := cfg
+		scfg.ShardWorkers = workers
+		res, dig, m := chatterRun(t, scfg, nil)
+		requireSameRun(t, labelf("workers=%d", workers), res, ref, dig, refDig, m, refM)
+	}
+}
+
+func labelf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -187,6 +187,16 @@ type Config struct {
 	// ValidateDelta makes the world verify the adversary's schedule obeys
 	// the δ bound and return an error when violated (used in tests).
 	ValidateDelta bool
+	// Shards splits the run into this many contiguous id-range shards
+	// executed as deterministic supersteps (see shard.go). 0 or 1 selects
+	// the serial kernel; counts above N are clamped. Sharding is invisible
+	// to results: every run is bit-identical — event for event, draw for
+	// draw — for every shard count, which the equivalence tests and the
+	// fuzzer's sharded≡serial oracle enforce.
+	Shards int
+	// ShardWorkers caps the goroutines executing shard phases (0 =
+	// min(Shards, GOMAXPROCS)). Like Shards, it never affects results.
+	ShardWorkers int
 }
 
 // Validate checks configuration sanity.
@@ -205,7 +215,7 @@ func (c Config) Validate() error {
 	case c.Graph != nil && c.Graph.N() != c.N:
 		return fmt.Errorf("sim: topology has %d vertices for N = %d", c.Graph.N(), c.N)
 	}
-	return nil
+	return validateShardConfig(c)
 }
 
 // DefaultMaxSteps returns a generous step budget for the configuration:

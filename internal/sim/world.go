@@ -21,13 +21,19 @@ var ErrDeltaViolated = errors.New("sim: schedule violated the δ bound")
 // exact message counting and reproducibility all require a deterministic
 // sequential kernel. (Goroutines and channels are used by the example
 // applications that embed the library, not by the model itself.)
+//
+// Config.Shards > 1 swaps in the sharded superstep engine (shard.go): node
+// Steps run on worker goroutines over per-shard mailboxes, while every
+// order-sensitive operation replays serially in canonical order — output
+// stays bit-identical to the serial kernel for every shard count.
 type World struct {
 	cfg     Config
 	nodes   []Node
 	adv     Adversary
 	tracer  Tracer
 	probe   func(View)
-	box     mailbox // undelivered messages, pooled in recycled blocks
+	box     mailbox      // undelivered messages, pooled in recycled blocks
+	eng     *shardEngine // non-nil when Config.Shards selects supersteps
 	alive   []bool
 	nAlive  int
 	now     Time
@@ -75,7 +81,11 @@ func NewWorld(cfg Config, nodes []Node, adv Adversary) (*World, error) {
 		metrics:   newMetrics(cfg.N),
 		lastSched: make([]Time, cfg.N),
 	}
-	w.box.init(cfg.N)
+	if shards := EffectiveShards(cfg.N, cfg.Shards); shards > 1 {
+		w.eng = newShardEngine(w, shards, cfg.ShardWorkers)
+	} else {
+		w.box.init(cfg.N)
+	}
 	for i := range w.alive {
 		w.alive[i] = true
 		w.lastSched[i] = -1
@@ -127,8 +137,14 @@ func (w *World) Graph() topology.Graph { return w.cfg.Graph }
 func (w *World) Metrics() *Metrics { return w.metrics }
 
 // ArenaStats snapshots the mailbox block arena — telemetry for memory
-// pressure and recycling efficacy (observation-only, cheap).
-func (w *World) ArenaStats() ArenaStats { return w.box.stats() }
+// pressure and recycling efficacy (observation-only, cheap). Sharded
+// worlds aggregate their per-shard arenas.
+func (w *World) ArenaStats() ArenaStats {
+	if w.eng != nil {
+		return w.eng.stats()
+	}
+	return w.box.stats()
+}
 
 // Config returns the world configuration.
 func (w *World) Config() Config { return w.cfg }
@@ -140,6 +156,10 @@ func (w *World) Config() Config { return w.cfg }
 func (w *World) Run(eval Evaluator) (Result, error) {
 	var res Result
 	quiet := false
+	if w.eng != nil {
+		w.eng.start()
+		defer w.eng.stop()
+	}
 	for w.now = 0; w.now < w.cfg.MaxSteps; w.now++ {
 		if err := w.stepTime(); err != nil {
 			return res, err
@@ -194,14 +214,19 @@ func (w *World) stepTime() error {
 		}
 	}
 
-	// 2. Schedule.
+	// 2. Schedule, then the step body: the serial per-process loop, or one
+	// sharded superstep over the same schedule.
 	w.schedBuf = w.adv.Schedule(w.now, w, w.schedBuf[:0])
-	for _, p := range w.schedBuf {
-		if !w.Alive(p) {
-			continue
-		}
-		if err := w.stepProcess(p); err != nil {
-			return err
+	if w.eng != nil {
+		w.eng.superstep(w.schedBuf)
+	} else {
+		for _, p := range w.schedBuf {
+			if !w.Alive(p) {
+				continue
+			}
+			if err := w.stepProcess(p); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -306,6 +331,9 @@ func (w *World) releaseInbox(inbox []Message) {
 // quiescent and no message is in flight to a live process. Messages pending
 // for crashed processes are ignored — they will never be delivered.
 func (w *World) isQuiet() bool {
+	if w.eng != nil {
+		return w.eng.isQuiet()
+	}
 	for p := 0; p < w.cfg.N; p++ {
 		if !w.alive[p] {
 			continue
@@ -326,7 +354,11 @@ func (w *World) PendingCount() int {
 	c := 0
 	for p := 0; p < w.cfg.N; p++ {
 		if w.alive[p] {
-			c += w.box.count(p)
+			if w.eng != nil {
+				c += w.eng.count(p)
+			} else {
+				c += w.box.count(p)
+			}
 		}
 	}
 	return c
