@@ -17,8 +17,8 @@ import (
 // volatile fields (timestamps, wall clock, runs/sec), so it never
 // participates in the byte-reproducibility contract — CI uploads it as an
 // artifact and validates it with -check. v2 added the sharded-twin
-// counter.
-const fuzzBenchSchema = "repro.bench.fuzz/v2"
+// counter; v3 the coverage-guided corpus block.
+const fuzzBenchSchema = "repro.bench.fuzz/v3"
 
 // benchFuzzFile is the artifact layout.
 type benchFuzzFile struct {
@@ -54,6 +54,21 @@ type benchFuzzFile struct {
 	// bound). Tracked nightly so tightness drift is visible long before an
 	// envelope oracle actually fires.
 	Envelopes map[string]*scenario.EnvelopeStats `json:"envelopes,omitempty"`
+
+	// Corpus carries the coverage-guided campaign's steering telemetry
+	// (present when the session ran with -corpus): corpus turnover, the
+	// hit/novelty rates, and the per-oracle maximum tightness ever seen.
+	Corpus *benchCorpus `json:"corpus,omitempty"`
+}
+
+// benchCorpus is the artifact's corpus block: scenario.CorpusStats plus
+// the derived steering rates.
+type benchCorpus struct {
+	scenario.CorpusStats
+	// HitRate is admissions per mutated run — how often steering paid off;
+	// NoveltyRate is novel coverage tuples per session run.
+	HitRate     float64 `json:"hit_rate"`
+	NoveltyRate float64 `json:"novelty_rate"`
 }
 
 // buildBenchFuzz assembles the artifact from a finished session.
@@ -88,6 +103,16 @@ func buildBenchFuzz(sum *scenario.Summary, mode string, wall time.Duration) *ben
 			}
 			f.ByOracle[v.Oracle]++
 		}
+	}
+	if sum.Corpus != nil {
+		c := &benchCorpus{CorpusStats: *sum.Corpus}
+		if c.MutatedRuns > 0 {
+			c.HitRate = float64(c.Admitted) / float64(c.MutatedRuns)
+		}
+		if session := c.FreshRuns + c.MutatedRuns; session > 0 {
+			c.NoveltyRate = float64(c.NovelFeatures) / float64(session)
+		}
+		f.Corpus = c
 	}
 	return f
 }
@@ -158,6 +183,24 @@ func validateBenchFuzz(f *benchFuzzFile) error {
 	}
 	if f.RunsPerSec < 0 {
 		return fmt.Errorf("runs_per_sec = %f", f.RunsPerSec)
+	}
+	if c := f.Corpus; c != nil {
+		switch {
+		case c.Size < 0 || c.Seeded < 0 || c.Replayed < 0 || c.FreshRuns < 0 ||
+			c.MutatedRuns < 0 || c.NovelFeatures < 0 || c.NearMisses < 0 ||
+			c.Admitted < 0 || c.Evicted < 0:
+			return fmt.Errorf("corpus: negative counter")
+		case c.FreshRuns+c.MutatedRuns+c.Replayed > f.Runs:
+			return fmt.Errorf("corpus: fresh %d + mutated %d + replayed %d exceed runs %d",
+				c.FreshRuns, c.MutatedRuns, c.Replayed, f.Runs)
+		case c.HitRate < 0 || c.NoveltyRate < 0 || c.NoveltyRate > 1:
+			return fmt.Errorf("corpus: rate out of range (hit %g, novelty %g)", c.HitRate, c.NoveltyRate)
+		}
+		for oracle, ratio := range c.MaxTightness {
+			if ratio < 0 {
+				return fmt.Errorf("corpus: max_tightness[%q] = %g", oracle, ratio)
+			}
+		}
 	}
 	for oracle, e := range f.Envelopes {
 		if e == nil {

@@ -10,11 +10,22 @@
 //	fuzz -runs 200 -seed 1                  # a fixed-size session
 //	fuzz -duration 10m -seed 1 -out reports # time-boxed (nightly CI)
 //	fuzz -repro reports/scenario-1-42.json  # replay a failure artifact
+//	fuzz -runs 500 -seed 1 -corpus corpus   # coverage-guided session
+//
+// With -corpus DIR the session is coverage-guided: the corpus of
+// previously interesting scenarios is loaded (each entry re-executed as a
+// regression pass), -mutate-frac of the budget mutates corpus entries
+// toward the envelope boundaries instead of sampling fresh, runs with
+// novel coverage features or top-decile envelope tightness are admitted
+// back, and the evolved corpus is saved to DIR again — the persistence
+// seam the nightly campaign rides via actions/cache.
 //
 // Sessions are reproducible: with -runs, output and any reports are
-// byte-identical across invocations and worker counts (serial ≡ parallel).
-// With -duration, the scenario stream is the same — only how far the
-// session gets varies with machine speed.
+// byte-identical across invocations and worker counts (serial ≡ parallel),
+// and a steered session — including the corpus it leaves behind — is a
+// pure function of (seed, input corpus). With -duration, the scenario
+// stream is the same — only how far the session gets varies with machine
+// speed.
 //
 // Exit status: 0 when every scenario passed (or, with -repro, when the
 // report's violation reproduced), 1 when violations were found (or the
@@ -63,8 +74,14 @@ func run(args []string, stdout io.Writer) int {
 		quiet    = fs.Bool("quiet", false, "suppress periodic progress and watchdog lines on stderr")
 		benchOut = fs.String("bench", "", "write a BENCH_fuzz.json telemetry artifact after the session")
 		check    = fs.String("check", "", "validate a BENCH_fuzz.json artifact instead of fuzzing")
+		corpus   = fs.String("corpus", "", "corpus directory for coverage-guided steering (loaded and replayed before, saved after the session)")
+		mutFrac  = fs.Float64("mutate-frac", 0.5, "fraction of the budget spent mutating corpus entries (with -corpus)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *mutFrac < 0 || *mutFrac > 1 {
+		fmt.Fprintf(os.Stderr, "fuzz: -mutate-frac %v outside [0, 1]\n", *mutFrac)
 		return 2
 	}
 	if *check != "" {
@@ -81,6 +98,31 @@ func run(args []string, stdout io.Writer) int {
 	if (*runs > 0) == (*duration > 0) {
 		fmt.Fprintln(os.Stderr, "fuzz: need exactly one of -runs or -duration")
 		return 2
+	}
+
+	// Create and probe the report directory up front: a long nightly
+	// session must not discover a permissions problem only when its first
+	// violation tries to write, losing the repro.
+	if *out != "" {
+		if err := ensureReportDir(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: -out %s: %v\n", *out, err)
+			return 2
+		}
+	}
+
+	// Coverage-guided mode: load the corpus, skipping (with a warning)
+	// any entry that is corrupt, mis-addressed, or invalid — one bad file
+	// must never cost a campaign.
+	var corp *scenario.Corpus
+	if *corpus != "" {
+		var err error
+		corp, err = scenario.LoadCorpus(*corpus, 0, func(path string, err error) {
+			fmt.Fprintf(os.Stderr, "fuzz: WARNING skipping corpus entry %s: %v\n", path, err)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 2
+		}
 	}
 
 	// Session telemetry: throttled progress lines and a stuck-worker
@@ -108,6 +150,8 @@ func run(args []string, stdout io.Writer) int {
 			FirstIndex:   firstIndex,
 			Workers:      *workers,
 			ShrinkBudget: *shrink,
+			Corpus:       corp,
+			MutateFrac:   *mutFrac,
 		}
 		if prog != nil {
 			o.Progress = prog.report
@@ -118,30 +162,55 @@ func run(args []string, stdout io.Writer) int {
 		return o
 	}
 
-	if *runs > 0 {
-		sum, err := scenario.Fuzz(mkOpts(*runs, *first))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
-			return 2
-		}
-		return finish(sum, *out, *verbose, stdout, *benchOut, "runs", time.Since(start))
-	}
-
-	// Time-boxed mode: fixed-size batches through the same deterministic
-	// stream until the deadline. The batch size only affects how promptly
-	// the deadline is honored, never which scenarios exist.
+	// Both modes run fixed-size batches through the same deterministic
+	// stream (merged batches encode identically to one big session). The
+	// batch size only affects how promptly a -duration deadline is honored
+	// and how often a steered session folds new corpus entries back into
+	// the mutation pool — never which fresh scenarios exist.
 	const batch = 200
-	deadline := time.Now().Add(*duration)
 	total := &scenario.Summary{
 		Schema:     scenario.SummarySchema,
 		MasterSeed: *seed,
 		FirstIndex: *first,
 		ByProtocol: map[string]int{},
 	}
-	next := *first
-	for time.Now().Before(deadline) {
+
+	// Regression pass: every corpus entry replays through the full oracle
+	// catalog before the steered session, so previously interesting
+	// scenarios are re-checked on every invocation.
+	if corp != nil && corp.Len() > 0 {
+		rep, err := scenario.ReplayCorpus(corp, mkOpts(0, *first))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
+			return 2
+		}
+		total.Merge(rep)
+		if prog != nil {
+			prog.advance(rep.Runs, int64(len(rep.Reports)))
+		}
+	}
+
+	mode := "duration"
+	deadline := time.Now().Add(*duration)
+	next, remaining := *first, *runs
+	if *runs > 0 {
+		mode = "runs"
+	}
+	for {
+		n := batch
+		if mode == "runs" {
+			if remaining <= 0 {
+				break
+			}
+			if remaining < n {
+				n = remaining
+			}
+			remaining -= n
+		} else if !time.Now().Before(deadline) {
+			break
+		}
 		indexBase.Store(next)
-		sum, err := scenario.Fuzz(mkOpts(batch, next))
+		sum, err := scenario.Fuzz(mkOpts(n, next))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fuzz: %v\n", err)
 			return 2
@@ -150,9 +219,32 @@ func run(args []string, stdout io.Writer) int {
 		if prog != nil {
 			prog.advance(sum.Runs, int64(len(sum.Reports)))
 		}
-		next += batch
+		next += int64(n)
 	}
-	return finish(total, *out, *verbose, stdout, *benchOut, "duration", time.Since(start))
+
+	// Persist the evolved corpus for the next session of the campaign.
+	if corp != nil {
+		if err := corp.Save(*corpus); err != nil {
+			fmt.Fprintf(os.Stderr, "fuzz: saving corpus: %v\n", err)
+			return 2
+		}
+	}
+	return finish(total, *out, *verbose, stdout, *benchOut, mode, time.Since(start))
+}
+
+// ensureReportDir creates the failure-report directory and verifies it is
+// writable by round-tripping a probe file.
+func ensureReportDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("not writable: %w", err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // progressPrinter emits throttled session progress to stderr. Each
@@ -239,9 +331,7 @@ func encodeSummary(sum *scenario.Summary) ([]byte, error) {
 }
 
 func writeReport(dir string, r *scenario.Report) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+	// run() created and probed dir before the session started.
 	data, err := r.Encode()
 	if err != nil {
 		return err

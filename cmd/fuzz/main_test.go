@@ -121,9 +121,11 @@ func TestFuzzReproMode(t *testing.T) {
 	}
 }
 
-// TestFuzzReportArtifacts: a clean session leaves the -out directory
-// empty (report writing on violations is covered by the scenario
-// package's mutation tests, which own the fault-injection hook).
+// TestFuzzReportArtifacts: the -out directory is created and probed up
+// front — a nightly session must not discover a broken report path only
+// when its first violation tries to write — and a clean session leaves it
+// empty (report writing on violations is covered by the scenario package's
+// mutation tests, which own the fault-injection hook).
 func TestFuzzReportArtifacts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fuzz session in -short mode")
@@ -133,10 +135,140 @@ func TestFuzzReportArtifacts(t *testing.T) {
 	if code := run([]string{"-runs", "50", "-seed", "1", "-out", dir}, &buf); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	if _, err := os.Stat(dir); !os.IsNotExist(err) {
-		entries, _ := os.ReadDir(dir)
-		if len(entries) != 0 {
-			t.Fatalf("clean session wrote %d reports", len(entries))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("-out directory was not created up front: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("clean session wrote %d reports", len(entries))
+	}
+
+	// An unusable -out path fails immediately with a usage error, before
+	// any scenario runs.
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-runs", "50", "-seed", "1", "-out", filepath.Join(blocker, "reports")}, &buf); code != 2 {
+		t.Fatalf("unusable -out: exit %d, want 2", code)
+	}
+}
+
+// seedCorpusCopy clones the committed mini-corpus into a fresh directory,
+// the way the nightly workflow seeds an empty cache.
+func seedCorpusCopy(t *testing.T) string {
+	t.Helper()
+	const src = "../../testdata/corpus-seed"
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
 		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// corpusState snapshots a corpus directory's file names and bytes.
+func corpusState(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestFuzzCorpusTwoPhaseDeterminism: the campaign acceptance contract —
+// running `fuzz -corpus` twice from the same seed corpus and master seed
+// produces byte-identical summaries AND byte-identical final corpora, so a
+// nightly finding is reproducible locally from the cached corpus artifact.
+func TestFuzzCorpusTwoPhaseDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz session in -short mode")
+	}
+	session := func() (string, map[string]string) {
+		dir := seedCorpusCopy(t)
+		var buf bytes.Buffer
+		if code := run([]string{
+			"-runs", "150", "-seed", "3", "-corpus", dir, "-mutate-frac", "0.6", "-quiet",
+		}, &buf); code != 0 {
+			t.Fatalf("exit %d\n%s", code, buf.String())
+		}
+		return buf.String(), corpusState(t, dir)
+	}
+	sum1, corp1 := session()
+	sum2, corp2 := session()
+	if sum1 != sum2 {
+		t.Error("two identical steered sessions emitted different summaries")
+	}
+	if len(corp1) != len(corp2) {
+		t.Fatalf("final corpora differ in size: %d vs %d", len(corp1), len(corp2))
+	}
+	for name, data := range corp1 {
+		if corp2[name] != data {
+			t.Fatalf("final corpora differ at %s", name)
+		}
+	}
+
+	var sum scenario.Summary
+	if err := json.Unmarshal([]byte(sum1), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Corpus == nil {
+		t.Fatal("steered summary carries no corpus block")
+	}
+	if sum.Corpus.Replayed == 0 || sum.Corpus.Seeded == 0 {
+		t.Fatalf("seed corpus was not replayed: %+v", sum.Corpus)
+	}
+	if sum.Corpus.MutatedRuns == 0 {
+		t.Fatalf("no mutated runs at -mutate-frac 0.6: %+v", sum.Corpus)
+	}
+	if len(corp1) < sum.Corpus.Seeded {
+		t.Fatalf("final corpus (%d files) shrank below the seed (%d)", len(corp1), sum.Corpus.Seeded)
+	}
+}
+
+// TestFuzzCorpusBadInputs: -mutate-frac outside [0,1] is a usage error,
+// and a corrupt corpus entry is skipped with a warning — the session still
+// runs and exits clean.
+func TestFuzzCorpusBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-runs", "5", "-mutate-frac", "1.5"}, &buf); code != 2 {
+		t.Fatalf("-mutate-frac 1.5: exit %d, want 2", code)
+	}
+	if code := run([]string{"-runs", "5", "-mutate-frac", "-0.1"}, &buf); code != 2 {
+		t.Fatalf("-mutate-frac -0.1: exit %d, want 2", code)
+	}
+	if testing.Short() {
+		t.Skip("fuzz session in -short mode")
+	}
+	dir := seedCorpusCopy(t)
+	if err := os.WriteFile(filepath.Join(dir, "0000000000000000.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if code := run([]string{"-runs", "50", "-seed", "1", "-corpus", dir, "-quiet"}, &buf); code != 0 {
+		t.Fatalf("corrupt entry aborted the campaign: exit %d\n%s", code, buf.String())
+	}
+	// Save rewrites the directory from the surviving entries: the corrupt
+	// file is gone, not resurrected into the cache.
+	if _, err := os.Stat(filepath.Join(dir, "0000000000000000.json")); !os.IsNotExist(err) {
+		t.Error("corrupt corpus entry survived the session's save")
 	}
 }

@@ -42,6 +42,14 @@
 //     and sharded ≡ serial event-stream equivalence. A violated scenario
 //     is shrunk to a minimized repro and returned as a replayable
 //     ScenarioReport; `cmd/fuzz -repro` re-runs a report file exactly.
+//     With `-corpus DIR` a session is coverage-guided: a persistent,
+//     content-addressed corpus of previously interesting scenarios
+//     (repro.fuzz.corpus/v1) replays as a regression pass, part of the
+//     budget mutates corpus entries toward the complexity-envelope
+//     boundaries instead of sampling fresh, and runs with novel coverage
+//     features or top-decile envelope tightness are admitted back — the
+//     whole campaign, evolved corpus included, a pure function of
+//     (master seed, input corpus).
 //
 // Functional options tune how a run executes — never what it computes:
 //
@@ -132,8 +140,9 @@
 // or off — and with no tracer attached the kernel keeps its
 // allocation-free fast path. cmd/bench -telemetry captures pprof profiles
 // plus an instrumented sample run; cmd/fuzz streams progress, watches for
-// stuck workers, and emits a repro.bench.fuzz/v2 artifact with per-oracle
-// envelope-tightness percentiles (-bench / -check).
+// stuck workers, and emits a repro.bench.fuzz/v3 artifact with per-oracle
+// envelope-tightness percentiles and the coverage-guided campaign's
+// corpus steering rates (-bench / -check).
 //
 // Deeper extension points (custom protocols, adversaries, tracers,
 // graphs) are exposed through type aliases into the internal packages;

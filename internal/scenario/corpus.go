@@ -1,0 +1,333 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/runner"
+)
+
+// CorpusSchema identifies the on-disk corpus-entry layout. A corpus is a
+// directory of entry files, one per interesting scenario, content-addressed
+// by the spec digest — the filename IS the identity, so merging two corpus
+// directories is file-level union and actions/cache restores compose.
+const CorpusSchema = "repro.fuzz.corpus/v1"
+
+// DefaultCorpusCap bounds the corpus; past it the least-recently-productive
+// entry is evicted. Sized so a whole corpus replays in a few seconds of a
+// PR smoke run while still covering hundreds of qualitative regimes.
+const DefaultCorpusCap = 256
+
+// CorpusEntry is one persisted interesting scenario plus the coverage
+// bookkeeping that steers and bounds the campaign.
+type CorpusEntry struct {
+	Schema string `json:"schema"`
+	// Digest is the content address: the first 16 hex digits of the
+	// SHA-256 of the spec's canonical JSON encoding. Load re-derives it
+	// and skips any file whose name or field disagrees — a corrupt or
+	// hand-edited entry can't poison the campaign.
+	Digest string `json:"digest"`
+	// Spec is the scenario itself, replayable on any machine.
+	Spec Spec `json:"spec"`
+	// Feature is the coverage tuple the entry's execution produced.
+	Feature Feature `json:"feature"`
+	// Tightness records the entry's envelope ratios (actual/bound) per
+	// oracle — the near-miss margins that made it interesting, and the
+	// seed observations for the next session's decile predicate.
+	Tightness map[string]float64 `json:"tightness,omitempty"`
+	// Why is the interestingness verdict that admitted the entry.
+	Why string `json:"why,omitempty"`
+	// AddedGen and ProductiveGen order admissions: the corpus generation
+	// at which the entry was admitted, and the latest generation at which
+	// it (or a mutant derived from it) proved interesting. Eviction takes
+	// the least-recently-productive entry first.
+	AddedGen      int64 `json:"added_gen"`
+	ProductiveGen int64 `json:"productive_gen"`
+	// Productive counts admitted mutants derived from this entry.
+	Productive int64 `json:"productive"`
+}
+
+// encode renders the entry as deterministic indented JSON with a trailing
+// newline — save→load→save is byte-identical.
+func (e *CorpusEntry) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SpecDigest computes a spec's content address: the first 16 hex digits of
+// the SHA-256 of its canonical (compact, field-ordered) JSON encoding.
+func SpecDigest(s Spec) string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Spec is a plain value type; Marshal cannot fail on it.
+		panic(fmt.Sprintf("scenario: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Corpus is the in-memory working set of a coverage-guided campaign:
+// deduplicated by spec digest, bounded by cap with deterministic
+// least-recently-productive eviction. It is not safe for concurrent use;
+// Fuzz snapshots it before fanning out and admits sequentially in
+// scenario-index order, which is what keeps campaigns byte-reproducible.
+type Corpus struct {
+	cap     int
+	gen     int64
+	entries map[string]*CorpusEntry
+
+	admitted, evicted int
+}
+
+// NewCorpus returns an empty corpus (cap <= 0 selects DefaultCorpusCap).
+func NewCorpus(cap int) *Corpus {
+	if cap <= 0 {
+		cap = DefaultCorpusCap
+	}
+	return &Corpus{cap: cap, entries: map[string]*CorpusEntry{}}
+}
+
+// Len reports the number of entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Entries returns the entries sorted by digest — the canonical order every
+// deterministic walk (snapshot, save, replay) uses.
+func (c *Corpus) Entries() []*CorpusEntry {
+	out := make([]*CorpusEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// Admit adds one interesting scenario (deduplicated by digest), credits the
+// corpus entry it was mutated from (parent digest, "" for fresh draws), and
+// evicts past cap. Returns whether a new entry was added and how many were
+// evicted. Callers admit in scenario-index order; given that, the resulting
+// corpus — including every generation counter — is deterministic.
+func (c *Corpus) Admit(spec Spec, f Feature, tight map[string]float64, why, parent string) (added bool, evicted int) {
+	gen := c.gen
+	c.gen++
+	if p := c.entries[parent]; p != nil {
+		p.Productive++
+		p.ProductiveGen = gen
+	}
+	d := SpecDigest(spec)
+	if e := c.entries[d]; e != nil {
+		// Already in the corpus: the scenario re-proved itself interesting,
+		// so refresh its productivity instead of duplicating it.
+		e.ProductiveGen = gen
+		return false, 0
+	}
+	tcopy := make(map[string]float64, len(tight))
+	for k, v := range tight {
+		tcopy[k] = v
+	}
+	c.entries[d] = &CorpusEntry{
+		Schema:        CorpusSchema,
+		Digest:        d,
+		Spec:          spec,
+		Feature:       f,
+		Tightness:     tcopy,
+		Why:           why,
+		AddedGen:      gen,
+		ProductiveGen: gen,
+	}
+	c.admitted++
+	for len(c.entries) > c.cap {
+		c.evict()
+		evicted++
+	}
+	return true, evicted
+}
+
+// evict removes the least-recently-productive entry, breaking ties by
+// admission generation and then digest — a total order, so eviction is
+// deterministic.
+func (c *Corpus) evict() {
+	var victim *CorpusEntry
+	for _, e := range c.entries {
+		if victim == nil || olderThan(e, victim) {
+			victim = e
+		}
+	}
+	if victim != nil {
+		delete(c.entries, victim.Digest)
+		c.evicted++
+	}
+}
+
+func olderThan(a, b *CorpusEntry) bool {
+	if a.ProductiveGen != b.ProductiveGen {
+		return a.ProductiveGen < b.ProductiveGen
+	}
+	if a.AddedGen != b.AddedGen {
+		return a.AddedGen < b.AddedGen
+	}
+	return a.Digest < b.Digest
+}
+
+// LoadCorpus reads a corpus directory. Entries that fail to parse,
+// carry the wrong schema, fail spec validation, or whose recorded digest
+// disagrees with the recomputed content address are skipped via warn
+// (nil = silently) — one corrupt file must never abort a campaign. A
+// missing directory loads as an empty corpus.
+func LoadCorpus(dir string, cap int, warn func(path string, err error)) (*Corpus, error) {
+	c := NewCorpus(cap)
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: corpus glob: %w", err)
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		e, err := loadEntry(path)
+		if err != nil {
+			if warn != nil {
+				warn(path, err)
+			}
+			continue
+		}
+		c.entries[e.Digest] = e
+		if e.AddedGen >= c.gen {
+			c.gen = e.AddedGen + 1
+		}
+		if e.ProductiveGen >= c.gen {
+			c.gen = e.ProductiveGen + 1
+		}
+	}
+	for len(c.entries) > c.cap {
+		c.evict()
+	}
+	// Loaded entries are inventory, not session activity.
+	c.admitted, c.evicted = 0, 0
+	return c, nil
+}
+
+func loadEntry(path string) (*CorpusEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e CorpusEntry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("bad corpus entry: %w", err)
+	}
+	if e.Schema != CorpusSchema {
+		return nil, fmt.Errorf("corpus entry schema %q, want %q", e.Schema, CorpusSchema)
+	}
+	if err := e.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if d := SpecDigest(e.Spec); d != e.Digest {
+		return nil, fmt.Errorf("corpus entry digest %q does not match spec content %q", e.Digest, d)
+	}
+	if want := e.Digest + ".json"; filepath.Base(path) != want {
+		return nil, fmt.Errorf("corpus entry file %q should be named %q", filepath.Base(path), want)
+	}
+	return &e, nil
+}
+
+// Save writes the corpus back to dir (created if needed): one file per
+// entry named by its digest, and any stale entry files — evicted since
+// load — removed. Equal corpora save to byte-identical directories.
+func (c *Corpus) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	live := make(map[string]bool, len(c.entries))
+	for _, e := range c.Entries() {
+		data, err := e.encode()
+		if err != nil {
+			return err
+		}
+		name := e.Digest + ".json"
+		live[name] = true
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, path := range stale {
+		if !live[filepath.Base(path)] {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MaxTightness reports the per-oracle maximum envelope ratio recorded
+// across the current entries.
+func (c *Corpus) MaxTightness() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range c.entries {
+		for oracle, ratio := range e.Tightness {
+			if ratio > out[oracle] {
+				out[oracle] = ratio
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ReplayCorpus re-executes every corpus entry through the full oracle
+// catalog — the PR-smoke regression pass that keeps previously interesting
+// scenarios (the EARS/SEARS livelock repro among them) checked on every
+// change. Violations shrink and report exactly like fuzzed scenarios, with
+// the entry's position in digest order standing in for the stream index.
+// The summary is deterministic in the corpus contents; Workers, Context
+// and the progress hooks behave as in Fuzz.
+func ReplayCorpus(c *Corpus, opts Options) (*Summary, error) {
+	entries := c.Entries()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outcomes, errs, _ := runner.Map(ctx, len(entries),
+		runner.Options{Workers: opts.Workers, OnCell: opts.OnRun, Monitor: opts.Monitor},
+		func(_ context.Context, cell int) (cellOutcome, error) {
+			return fuzzSpec(entries[cell].Spec, 0, int64(cell), opts.ShrinkBudget)
+		})
+	sum := &Summary{
+		Schema:     SummarySchema,
+		MasterSeed: opts.MasterSeed,
+		FirstIndex: opts.FirstIndex,
+		ByProtocol: map[string]int{},
+		Corpus:     &CorpusStats{Size: c.Len(), Seeded: c.Len(), Replayed: 0},
+	}
+	for i, out := range outcomes {
+		if errs[i] != nil {
+			if ctx.Err() != nil && errs[i] == ctx.Err() {
+				sum.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("scenario: corpus replay %s: %w", entries[i].Digest, errs[i])
+		}
+		sum.Corpus.Replayed++
+		foldOutcome(sum, out)
+	}
+	sum.Corpus.MaxTightness = c.MaxTightness()
+	return sum, nil
+}

@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/syncgossip"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// This file is the coverage side of the coverage-guided fuzzing loop: a
+// feature abstraction over finished executions, an interestingness
+// predicate combining feature novelty with envelope near-misses, and the
+// mutation engine that turns corpus entries into new scenarios. corpus.go
+// owns persistence; fuzz.go wires both into the session.
+
+// Feature is the coverage tuple of one finished execution: which protocol
+// ran on which graph family, how many crashes the kernel actually admitted
+// (log₂ band) and how long completion took (log₂ band). Two runs with the
+// same tuple exercised the same qualitative regime; a tuple never seen
+// before — by the session or by any corpus entry — marks its run as
+// interesting regardless of envelope margins.
+type Feature struct {
+	Protocol string `json:"protocol"`
+	Topology string `json:"topology"`
+	// CrashBand is band(crashes): 0 for none, k for counts in [2^(k-1), 2^k).
+	CrashBand int `json:"crash_band"`
+	// StepBand is band(time complexity), same banding over completion steps.
+	StepBand int `json:"step_band"`
+}
+
+// band maps a non-negative count to its log₂ band: 0 → 0, otherwise
+// 1 + floor(log₂ v), so 1 → 1, 2..3 → 2, 4..7 → 3, …
+func band(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Key renders the tuple as the corpus/coverage map key.
+func (f Feature) Key() string {
+	return fmt.Sprintf("%s/%s/c%d/s%d", f.Protocol, f.Topology, f.CrashBand, f.StepBand)
+}
+
+// featureOf extracts the coverage tuple from a finished execution.
+func featureOf(ex *Execution) Feature {
+	topo := ex.Spec.Topology
+	if topo == "" {
+		topo = topology.FamilyComplete
+	}
+	return Feature{
+		Protocol:  ex.Spec.Protocol,
+		Topology:  topo,
+		CrashBand: band(int64(ex.Res.Crashes)),
+		StepBand:  band(int64(ex.Res.TimeComplexity)),
+	}
+}
+
+// Near-miss predicate calibration: an envelope ratio is a near miss when it
+// ranks in the top decile of everything observed so far — but only once the
+// histogram holds enough observations for "decile" to mean something.
+// Before that, feature novelty alone steers.
+const (
+	nearMissDecile = 0.9
+	nearMissMinObs = 64
+)
+
+// coverage accumulates the session's coverage state in scenario-index
+// order: seen feature tuples, per-oracle tightness histograms (seeded from
+// the corpus so the decile predicate is stable across a campaign), and the
+// per-oracle maximum ratio ever seen. Judging and observing in index order
+// keeps every verdict — and therefore the whole corpus evolution — a pure
+// function of (master seed, input corpus).
+type coverage struct {
+	seen  map[string]struct{}
+	hists map[string]*telemetry.LinearHist
+	max   map[string]float64
+}
+
+func newCoverage() *coverage {
+	return &coverage{
+		seen:  map[string]struct{}{},
+		hists: map[string]*telemetry.LinearHist{},
+		max:   map[string]float64{},
+	}
+}
+
+// seed folds one corpus entry's recorded coverage in (at snapshot time),
+// so a campaign's second night starts from the first night's frontier
+// instead of rediscovering it.
+func (c *coverage) seed(e *CorpusEntry) {
+	c.seen[e.Feature.Key()] = struct{}{}
+	for oracle, ratio := range e.Tightness {
+		c.hist(oracle).Observe(ratio)
+		if ratio > c.max[oracle] {
+			c.max[oracle] = ratio
+		}
+	}
+}
+
+func (c *coverage) hist(oracle string) *telemetry.LinearHist {
+	h := c.hists[oracle]
+	if h == nil {
+		h = telemetry.NewLinearHist()
+		c.hists[oracle] = h
+	}
+	return h
+}
+
+// judge classifies one finished run and then folds it into the state.
+// why is "" for uninteresting runs; novel reports feature novelty
+// separately so the session can count novelty and near-miss rates.
+func (c *coverage) judge(f Feature, tight map[string]float64) (why string, novel bool) {
+	key := f.Key()
+	if _, ok := c.seen[key]; !ok {
+		novel = true
+		why = "novel-feature:" + key
+	}
+	// Oracles in sorted order: verdict strings must not depend on map
+	// iteration order.
+	oracles := make([]string, 0, len(tight))
+	for oracle := range tight {
+		oracles = append(oracles, oracle)
+	}
+	sort.Strings(oracles)
+	for _, oracle := range oracles {
+		ratio := tight[oracle]
+		switch {
+		case ratio > c.max[oracle]:
+			why = fmt.Sprintf("record:%s:%.4f", oracle, ratio)
+		case why == "" && c.hist(oracle).Count() >= nearMissMinObs &&
+			c.hist(oracle).Rank(ratio) >= nearMissDecile:
+			why = fmt.Sprintf("near-miss:%s:%.4f", oracle, ratio)
+		}
+	}
+	// Observe after judging: a run must not dilute the decile it is being
+	// measured against.
+	c.seen[key] = struct{}{}
+	for _, oracle := range oracles {
+		ratio := tight[oracle]
+		c.hist(oracle).Observe(ratio)
+		if ratio > c.max[oracle] {
+			c.max[oracle] = ratio
+		}
+	}
+	return why, novel
+}
+
+// maxTightness copies the per-oracle maximum ratios (nil when none).
+func (c *coverage) maxTightness() map[string]float64 {
+	if len(c.max) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(c.max))
+	for k, v := range c.max {
+		out[k] = v
+	}
+	return out
+}
+
+// Mutation domain clamps. Mutants may push n past the generator's ceiling —
+// the protocols' promises are asymptotic, and the envelopes bind tighter at
+// larger n — but stay bounded so a nightly session's per-run cost stays
+// predictable.
+const (
+	mutMaxN     = 96
+	mutMaxD     = 6
+	mutMaxDelta = 6
+)
+
+// Mutate derives a structured variant of a corpus spec from r's stream: it
+// applies 1–3 operators chosen among those applicable to the spec's
+// protocol domain — nudging n/f/d/δ toward the binding envelope, swapping
+// the topology within the generated families, extending or perturbing the
+// crash schedule, toggling the sharded twin, reseeding the random streams —
+// and re-derives the dependent fields (crash-plan sanitation, horizon,
+// promises) so the mutant stays inside the domain the generator promises
+// oracles for. Pure in (s, r's state); Fuzz derives r from
+// (master seed, scenario index) so campaigns stay byte-reproducible.
+func Mutate(s Spec, r *rng.RNG) Spec {
+	m := s
+	// Deep-copy the crash plan: operators edit it in place.
+	m.Crashes = append([]CrashEvent(nil), s.Crashes...)
+	// Mutants never re-run the pooled twin: equivalence sampling is the
+	// fresh stream's job, and steering spends its budget near envelopes.
+	m.CheckEquivalence = false
+
+	sync := m.Protocol == syncgossip.NameSyncEpidemic || m.Protocol == syncgossip.NameSyncDeterministic
+	relay := m.Protocol == core.NameEARS || m.Protocol == core.NameSEARS
+
+	for ops := 1 + r.Intn(3); ops > 0; ops-- {
+		switch r.Intn(8) {
+		case 0: // nudge n
+			m.N = clampInt(m.N+nudge(r, 8), genMinN, mutMaxN)
+		case 1: // nudge f toward (or away from) the n/2 cliff
+			if !sync && m.Topology == "" {
+				m.F = clampInt(m.F+nudge(r, 3), 0, (m.N-1)/2)
+			}
+		case 2: // nudge d
+			if !sync {
+				m.D = int64(clampInt(int(m.D)+nudge(r, 2), 1, mutMaxD))
+			}
+		case 3: // nudge δ
+			if !sync {
+				m.Delta = int64(clampInt(int(m.Delta)+nudge(r, 2), 1, mutMaxDelta))
+			}
+		case 4: // swap topology within the generated families
+			if relay && m.Topology != "" {
+				m.Topology = genSparseFamilies[r.Intn(len(genSparseFamilies))]
+				m.TopologySeed = r.Int63()
+				m.TopologyParam, m.TopologyParam2 = 0, 0
+				if m.Topology == topology.FamilyRandomRegular {
+					m.TopologyParam = float64(4 + 2*r.Intn(3))
+				}
+			}
+		case 5: // extend / perturb / redraw the crash schedule
+			if !sync && m.Topology == "" {
+				mutateCrashes(&m, r)
+			}
+		case 6: // toggle the sharded twin
+			if m.Shards != 0 {
+				m.Shards = 0
+			} else {
+				m.Shards = genShardDomain[r.Intn(len(genShardDomain))]
+			}
+		default: // reseed the protocol / schedule / delay streams
+			m.Seed = r.Int63()
+			if m.Schedule.Seed != 0 {
+				m.Schedule.Seed = r.Int63()
+			}
+			if m.Delay.Seed != 0 {
+				m.Delay.Seed = r.Int63()
+			}
+		}
+	}
+
+	// Re-derive everything the operators may have invalidated. f stays on
+	// the clique (a crash can disconnect a sparse graph, voiding the
+	// promise) and under n/2; crash events must reference live ids; the
+	// fixed delay re-clamps into [1, d]; the horizon follows the new
+	// parameters exactly as the generator's does.
+	if sync {
+		m.F = 0
+		m.Crashes = nil
+	}
+	if m.Topology != "" {
+		m.F = 0
+		m.Crashes = nil
+	}
+	if m.F > (m.N-1)/2 {
+		m.F = (m.N - 1) / 2
+	}
+	kept := m.Crashes[:0]
+	for _, c := range m.Crashes {
+		if c.Proc < m.N {
+			kept = append(kept, c)
+		}
+	}
+	m.Crashes = kept
+	if len(m.Crashes) == 0 {
+		m.Crashes = nil
+	}
+	if m.Delay.Kind == DelayFixed && m.Delay.Value > m.D {
+		m.Delay.Value = m.D
+	}
+	m.MaxSteps = int64(sim.DefaultMaxSteps(sim.Config{
+		N: m.N, F: m.F, D: sim.Time(m.D), Delta: sim.Time(m.Delta),
+	}))
+	return m
+}
+
+// mutateCrashes applies one crash-schedule operator in place: jitter every
+// event, drop one, clone-and-shift one, or redraw the whole plan (possibly
+// over budget, like the generator's).
+func mutateCrashes(m *Spec, r *rng.RNG) {
+	unit := m.D + m.Delta
+	switch {
+	case len(m.Crashes) == 0 || r.Bool(0.25):
+		m.Crashes = drawCrashPlan(r, *m)
+	case r.Bool(0.4): // jitter times
+		for i := range m.Crashes {
+			at := m.Crashes[i].At + int64(nudge(r, int(unit)))
+			if at < 0 {
+				at = 0
+			}
+			m.Crashes[i].At = at
+		}
+	case r.Bool(0.5): // drop one event
+		i := r.Intn(len(m.Crashes))
+		m.Crashes = append(m.Crashes[:i], m.Crashes[i+1:]...)
+	default: // clone one event onto a fresh victim, later
+		src := m.Crashes[r.Intn(len(m.Crashes))]
+		m.Crashes = append(m.Crashes, CrashEvent{
+			At:   src.At + unit,
+			Proc: r.Intn(m.N),
+		})
+	}
+}
+
+// nudge draws a non-zero step in [-max, +max], biased neither way.
+func nudge(r *rng.RNG, max int) int {
+	d := 1 + r.Intn(max)
+	if r.Bool(0.5) {
+		return -d
+	}
+	return d
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -55,6 +55,16 @@ func (e *EnvelopeStats) merge(o *EnvelopeStats) {
 	e.refresh()
 }
 
+// Rank reports the fraction of observed ratios that sat strictly below
+// ratio's histogram bucket — the tightness-quantile lookup behind the
+// coverage engine's near-miss predicate (Rank >= 0.9 ⇒ top decile).
+func (e *EnvelopeStats) Rank(ratio float64) float64 {
+	if e.hist == nil {
+		return 0
+	}
+	return e.hist.Rank(ratio)
+}
+
 // refresh recomputes the exported fields from the histogram.
 func (e *EnvelopeStats) refresh() {
 	e.Count = e.hist.Count()

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/rng"
 	"repro/internal/runner"
 )
 
@@ -42,6 +43,17 @@ type Options struct {
 	// telemetry.Watchdog spotting stuck scenarios in a long session).
 	// Observation-only: it cannot affect results.
 	Monitor runner.Monitor
+	// Corpus, when non-nil, turns the session coverage-guided: MutateFrac
+	// of the budget mutates corpus entries (snapshotted at session start)
+	// instead of sampling fresh, and runs judged interesting — a novel
+	// coverage feature tuple, or an envelope-tightness ratio in the top
+	// decile of everything observed — are admitted back into the corpus.
+	// The session, including the corpus it leaves behind, is a pure
+	// function of (MasterSeed, FirstIndex, Runs, input corpus).
+	Corpus *Corpus
+	// MutateFrac is the fraction of the budget spent mutating corpus
+	// entries (ignored without Corpus; the rest samples fresh).
+	MutateFrac float64
 }
 
 // Summary aggregates one fuzz session. All counters are deterministic in
@@ -72,13 +84,62 @@ type Summary struct {
 	// oracle name (OracleMessageEnvelope, OracleTimeEnvelope). A run
 	// contributes the ratio actual/bound whenever the envelope applies.
 	Envelopes map[string]*EnvelopeStats `json:"envelopes,omitempty"`
+	// Corpus aggregates the coverage-guided campaign's steering counters
+	// (nil for blind sessions).
+	Corpus *CorpusStats `json:"corpus,omitempty"`
 	// Reports carries one replayable report per violated scenario.
 	Reports []Report `json:"reports,omitempty"`
 }
 
+// CorpusStats summarizes the corpus side of a coverage-guided session.
+// Hit rate is Admitted/MutatedRuns, novelty rate NovelFeatures/(Fresh+
+// Mutated) — cmd/fuzz derives both for the bench artifact.
+type CorpusStats struct {
+	// Size is the corpus size after the session; Seeded its size at start.
+	Size   int `json:"size"`
+	Seeded int `json:"seeded"`
+	// Replayed counts seed entries re-executed through the oracle catalog.
+	Replayed int `json:"replayed"`
+	// FreshRuns and MutatedRuns split the session budget by origin.
+	FreshRuns   int `json:"fresh_runs"`
+	MutatedRuns int `json:"mutated_runs"`
+	// NovelFeatures counts runs whose coverage tuple was new; NearMisses
+	// counts runs admitted on an envelope top-decile or record ratio.
+	NovelFeatures int `json:"novel_features"`
+	NearMisses    int `json:"near_misses"`
+	// Admitted and Evicted count corpus turnover during the session.
+	Admitted int `json:"admitted"`
+	Evicted  int `json:"evicted"`
+	// MaxTightness is the per-oracle maximum envelope ratio ever seen —
+	// across the surviving corpus and this session's runs.
+	MaxTightness map[string]float64 `json:"max_tightness,omitempty"`
+}
+
+// merge folds another session's corpus stats: counters add, Size (and
+// MaxTightness) track the latest state, Seeded keeps the first.
+func (s *CorpusStats) merge(o *CorpusStats) {
+	s.Size = o.Size
+	s.Replayed += o.Replayed
+	s.FreshRuns += o.FreshRuns
+	s.MutatedRuns += o.MutatedRuns
+	s.NovelFeatures += o.NovelFeatures
+	s.NearMisses += o.NearMisses
+	s.Admitted += o.Admitted
+	s.Evicted += o.Evicted
+	for k, v := range o.MaxTightness {
+		if s.MaxTightness == nil {
+			s.MaxTightness = map[string]float64{}
+		}
+		if v > s.MaxTightness[k] {
+			s.MaxTightness[k] = v
+		}
+	}
+}
+
 // SummarySchema identifies the Summary JSON layout. v2 added the
-// envelope-tightness block; v3 the sharded-twin counter.
-const SummarySchema = "repro.fuzz.summary/v3"
+// envelope-tightness block; v3 the sharded-twin counter; v4 the
+// coverage-guided corpus block.
+const SummarySchema = "repro.fuzz.summary/v4"
 
 // Encode renders the summary as deterministic, indented JSON with a
 // trailing newline. Map keys marshal sorted, so equal summaries are equal
@@ -110,6 +171,25 @@ type cellOutcome struct {
 	msgTightOK  bool
 	timeTight   float64
 	timeTightOK bool
+
+	// Coverage-guided bookkeeping: the spec that ran, its coverage tuple,
+	// and — for mutants — the digest of the corpus entry it came from.
+	spec    Spec
+	feature Feature
+	parent  string
+	mutated bool
+}
+
+// tightness collects the outcome's envelope ratios keyed by oracle.
+func (out *cellOutcome) tightness() map[string]float64 {
+	t := map[string]float64{}
+	if out.msgTightOK {
+		t[OracleMessageEnvelope] = out.msgTight
+	}
+	if out.timeTightOK {
+		t[OracleTimeEnvelope] = out.timeTight
+	}
+	return t
 }
 
 // Fuzz generates and executes opts.Runs scenarios, checks every execution
@@ -135,11 +215,21 @@ func Fuzz(opts Options) (*Summary, error) {
 			opts.Progress(done, total, violations.Load())
 		}
 	}
+	// Coverage steering: snapshot the corpus before fanning out — every
+	// cell's spec is then a pure function of (MasterSeed, index, snapshot)
+	// regardless of worker interleaving; admissions fold in afterwards, in
+	// index order.
+	var snapshot []*CorpusEntry
+	if opts.Corpus != nil {
+		snapshot = opts.Corpus.Entries()
+	}
 	outcomes, errs, _ := runner.Map(ctx, opts.Runs,
 		runner.Options{Workers: opts.Workers, OnCell: onCell, Monitor: opts.Monitor},
 		func(_ context.Context, cell int) (cellOutcome, error) {
 			index := opts.FirstIndex + int64(cell)
-			out, err := fuzzOne(opts.MasterSeed, index, opts.ShrinkBudget)
+			spec, parent := steerSpec(opts.MasterSeed, index, opts.MutateFrac, snapshot)
+			out, err := fuzzSpec(spec, opts.MasterSeed, index, opts.ShrinkBudget)
+			out.parent, out.mutated = parent, parent != ""
 			if err == nil && out.report != nil {
 				violations.Add(1)
 			}
@@ -152,6 +242,14 @@ func Fuzz(opts Options) (*Summary, error) {
 		FirstIndex: opts.FirstIndex,
 		ByProtocol: map[string]int{},
 	}
+	var cov *coverage
+	if opts.Corpus != nil {
+		sum.Corpus = &CorpusStats{Seeded: len(snapshot)}
+		cov = newCoverage()
+		for _, e := range snapshot {
+			cov.seed(e)
+		}
+	}
 	for i, out := range outcomes {
 		if errs[i] != nil {
 			if ctx.Err() != nil && errs[i] == ctx.Err() {
@@ -160,33 +258,89 @@ func Fuzz(opts Options) (*Summary, error) {
 			}
 			return nil, fmt.Errorf("scenario: run %d: %w", opts.FirstIndex+int64(i), errs[i])
 		}
-		sum.Runs++
-		sum.ByProtocol[out.protocol]++
-		if out.completed {
-			sum.Completed++
+		foldOutcome(sum, out)
+		if cov == nil {
+			continue
 		}
-		if out.unpromised {
-			sum.Unpromised++
+		if out.mutated {
+			sum.Corpus.MutatedRuns++
+		} else {
+			sum.Corpus.FreshRuns++
 		}
-		if out.twinRan {
-			sum.EquivalenceChecked++
+		tight := out.tightness()
+		why, novel := cov.judge(out.feature, tight)
+		if novel {
+			sum.Corpus.NovelFeatures++
 		}
-		if out.shardTwinRan {
-			sum.ShardChecked++
+		if why != "" && !novel {
+			sum.Corpus.NearMisses++
 		}
-		sum.Crashes += int64(out.crashes)
-		sum.Messages += out.messages
-		if out.msgTightOK {
-			sum.envelope(OracleMessageEnvelope).observe(out.msgTight)
-		}
-		if out.timeTightOK {
-			sum.envelope(OracleTimeEnvelope).observe(out.timeTight)
-		}
-		if out.report != nil {
-			sum.Reports = append(sum.Reports, *out.report)
+		// Violating runs already leave as shrunk reports; the corpus is for
+		// passing runs at the coverage frontier.
+		if why != "" && out.report == nil {
+			added, evicted := opts.Corpus.Admit(out.spec, out.feature, tight, why, out.parent)
+			if added {
+				sum.Corpus.Admitted++
+			}
+			sum.Corpus.Evicted += evicted
 		}
 	}
+	if cov != nil {
+		sum.Corpus.Size = opts.Corpus.Len()
+		sum.Corpus.MaxTightness = cov.maxTightness()
+	}
 	return sum, nil
+}
+
+// steerSpec picks the index-th scenario of a steered session: a mutation
+// of a snapshot entry for MutateFrac of the budget, a fresh Generate draw
+// otherwise. Pure in its arguments. The second result is the parent
+// entry's digest ("" for fresh draws).
+func steerSpec(master, index int64, frac float64, snapshot []*CorpusEntry) (Spec, string) {
+	if len(snapshot) == 0 || frac <= 0 {
+		return Generate(master, index), ""
+	}
+	r := rng.New(runner.DeriveSeed(master, "steer", index))
+	if r.Float64() >= frac {
+		return Generate(master, index), ""
+	}
+	e := snapshot[r.Intn(len(snapshot))]
+	m := Mutate(e.Spec, r)
+	if m.Validate() != nil {
+		// Operators preserve validity by construction; this is a belt for
+		// hand-edited corpus entries near the domain edges.
+		return Generate(master, index), ""
+	}
+	return m, e.Digest
+}
+
+// foldOutcome adds one finished run's counters to the summary.
+func foldOutcome(sum *Summary, out cellOutcome) {
+	sum.Runs++
+	sum.ByProtocol[out.protocol]++
+	if out.completed {
+		sum.Completed++
+	}
+	if out.unpromised {
+		sum.Unpromised++
+	}
+	if out.twinRan {
+		sum.EquivalenceChecked++
+	}
+	if out.shardTwinRan {
+		sum.ShardChecked++
+	}
+	sum.Crashes += int64(out.crashes)
+	sum.Messages += out.messages
+	if out.msgTightOK {
+		sum.envelope(OracleMessageEnvelope).observe(out.msgTight)
+	}
+	if out.timeTightOK {
+		sum.envelope(OracleTimeEnvelope).observe(out.timeTight)
+	}
+	if out.report != nil {
+		sum.Reports = append(sum.Reports, *out.report)
+	}
 }
 
 // envelope returns (creating on demand) the stats bucket for one oracle.
@@ -224,13 +378,21 @@ func (s *Summary) Merge(o *Summary) {
 	for k, e := range o.Envelopes {
 		s.envelope(k).merge(e)
 	}
+	if o.Corpus != nil {
+		if s.Corpus == nil {
+			c := *o.Corpus
+			s.Corpus = &c
+		} else {
+			s.Corpus.merge(o.Corpus)
+		}
+	}
 	s.Reports = append(s.Reports, o.Reports...)
 }
 
-// fuzzOne generates, executes, checks and (on violation) shrinks one
-// scenario. Pure in (master, index, shrinkBudget).
-func fuzzOne(master, index int64, shrinkBudget int) (cellOutcome, error) {
-	spec := Generate(master, index)
+// fuzzSpec executes, checks and (on violation) shrinks one scenario. Pure
+// in (spec, master, index, shrinkBudget); master and index only label the
+// report of a violating run.
+func fuzzSpec(spec Spec, master, index int64, shrinkBudget int) (cellOutcome, error) {
 	ex, err := Execute(spec)
 	if err != nil {
 		return cellOutcome{}, err
@@ -243,6 +405,8 @@ func fuzzOne(master, index int64, shrinkBudget int) (cellOutcome, error) {
 		shardTwinRan: ex.ShardTwinRan,
 		crashes:      ex.Res.Crashes,
 		messages:     ex.Res.Messages,
+		spec:         spec,
+		feature:      featureOf(ex),
 	}
 	if bound := messageEnvelope(spec); bound > 0 {
 		out.msgTight = float64(ex.Res.Messages) / bound

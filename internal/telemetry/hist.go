@@ -233,6 +233,30 @@ func (h *LinearHist) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Rank is Quantile's inverse: the fraction of observations that landed in
+// buckets strictly below v's bucket (0 if empty). Like Quantile it reads
+// bucket edges, so it is deterministic and merge-order-independent — the
+// lookup behind the fuzzer's "top decile of envelope tightness"
+// interestingness predicate: Rank(ratio) >= 0.9 means at most 10% of the
+// observed ratios sat as close to the bound as this one.
+func (h *LinearHist) Rank(v float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := int(v / linearWidth)
+	if i >= linearBuckets {
+		i = linearBuckets - 1
+	}
+	var below int64
+	for j := 0; j < i; j++ {
+		below += h.counts[j]
+	}
+	return float64(below) / float64(h.count)
+}
+
 // Quantile returns the upper edge of the bucket containing the q-th
 // quantile, or 0 if empty. The overflow bucket reads as the observed max.
 func (h *LinearHist) Quantile(q float64) float64 {
