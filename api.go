@@ -54,6 +54,12 @@ const (
 	ProtoTEARS             = core.NameTEARS
 	ProtoSyncEpidemic      = syncgossip.NameSyncEpidemic
 	ProtoSyncDeterministic = syncgossip.NameSyncDeterministic
+	// Single-rumor spreading (Panagiotou–Speidel) and sum-weight
+	// averaging (Picard et al.): the O(1)-state related-work families.
+	ProtoPush     = core.NamePush
+	ProtoPull     = core.NamePull
+	ProtoPushPull = core.NamePushPull
+	ProtoAverage  = core.NameAverage
 )
 
 // Adversary preset names accepted by the Adversary fields.
@@ -185,6 +191,9 @@ type GossipResult struct {
 	// OffEdgeDrops counts sends dropped for lack of a topology edge
 	// (always 0 on the complete graph).
 	OffEdgeDrops int64
+	// OutOfRangeDrops counts sends dropped for an out-of-range target id
+	// (nonzero flags a protocol addressing processes that do not exist).
+	OutOfRangeDrops int64
 }
 
 // RunGossip simulates one gossip execution.

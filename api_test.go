@@ -27,10 +27,14 @@ func TestRunGossipAllProtocols(t *testing.T) {
 	for _, proto := range []string{
 		ProtoTrivial, ProtoEARS, ProtoSEARS, ProtoTEARS,
 		ProtoSyncEpidemic, ProtoSyncDeterministic,
+		ProtoPush, ProtoPull, ProtoPushPull, ProtoAverage,
 	} {
 		cfg := GossipConfig{Protocol: proto, N: 32, F: 8, D: 2, Delta: 2, Seed: 2}
-		if proto == ProtoSyncEpidemic || proto == ProtoSyncDeterministic {
+		switch proto {
+		case ProtoSyncEpidemic, ProtoSyncDeterministic:
 			cfg.D, cfg.Delta = 1, 1 // sync baselines assume d = δ = 1
+		case ProtoPush, ProtoPull, ProtoPushPull, ProtoAverage:
+			cfg.F = 0 // crashes are outside the O(1)-state families' promises
 		}
 		res, err := RunGossip(cfg)
 		if err != nil {

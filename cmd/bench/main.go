@@ -11,6 +11,7 @@
 //	bench -out BENCH_gossip.json            # full scale (nightly)
 //	bench -large -out BENCH_large.json      # large-n sweep, lean trackers (nightly)
 //	bench -xlarge -out BENCH_xlarge.json    # sharded lean sweep beyond the large tier (nightly)
+//	bench -million -out BENCH_million.json  # push-pull at n = 10⁶, lean and sharded (nightly)
 //	bench -check BENCH_gossip.json          # validate an existing artifact
 //	bench -quick -compare BENCH_gossip.json # run the suite, then gate against a baseline
 //	bench -compare OLD.json NEW.json        # gate one artifact against another
@@ -66,7 +67,7 @@ type benchFile struct {
 	Schema    string `json:"schema"`
 	Generated string `json:"generated"` // RFC 3339 UTC
 	GoVersion string `json:"go_version"`
-	Scale     string `json:"scale"` // "quick", "full", "large" or "xlarge"
+	Scale     string `json:"scale"` // "quick", "full", "large", "xlarge" or "million"
 	Workers   int    `json:"workers"`
 	Seeds     int    `json:"seeds"`
 	// Shards is the -shards flag the suite ran with (0 = per-cell
@@ -122,13 +123,37 @@ type cellSpec struct {
 	d, delta int  // message delay and scheduling bounds (0 = default 2)
 	lean     bool // large-n cells use O(1) tracker bookkeeping
 	shards   int  // superstep shards (0 = serial kernel)
+	// pushC overrides core.Params.PushPullC for the cell (0 = default).
+	// The million tier lowers it so the deterministic n·B push budget —
+	// and with it the nightly wall clock — stays bounded at n = 10⁶.
+	pushC float64
 }
 
-// suite returns the pinned cells for a scale ("quick", "full", "large").
+// suite returns the pinned cells for a scale ("quick", "full", "large",
+// "xlarge" or "million").
 func suite(scale string) []cellSpec {
 	quarter := func(n int) int { return n / 4 }
 	minority := func(n int) int { return (n - 1) / 2 }
 	zero := func(int) int { return 0 }
+	if scale == "million" {
+		// The first million-node runs. The epidemic protocols' n-bit rumor
+		// sets cap the xlarge tier well below 10⁶ — but push-pull carries
+		// O(1) state per process (an informed bit and a push budget), so
+		// with lean trackers and the sharded kernel the memory wall falls
+		// away and the axis is pure event throughput. PushPullC drops from
+		// its default 6 to 3, halving the deterministic n·B push budget
+		// (still ample at n = 10⁶: B = 60) to keep the nightly wall clock
+		// bounded; the budget is recorded per cell via the exact message
+		// counts, so any drift still fails the compare gate.
+		auto := runtime.NumCPU()
+		if auto < 2 {
+			auto = 2
+		}
+		return []cellSpec{
+			{proto: "push-pull", family: "", fOf: zero, lean: true, shards: auto, pushC: 3, ns: []int{1000000}},
+			{proto: "push-pull", family: topology.FamilyErdosRenyi, fOf: zero, lean: true, shards: auto, pushC: 3, ns: []int{1000000}},
+		}
+	}
 	if scale == "xlarge" {
 		// The xlarge sweep drives the sharded superstep kernel past the
 		// large tier's scales, lean and sharded one-per-CPU. The first n of
@@ -138,8 +163,9 @@ func suite(scale string) []cellSpec {
 		// level. Scales are sized to measured memory and nightly wall-clock
 		// budgets, not ambition: tears' per-process audience state and the
 		// epidemic protocols' n-bit rumor sets grow superlinearly, which is
-		// what caps the sweep well below n = 10⁶ (see README "Sharded
-		// execution" for the arithmetic).
+		// what caps this sweep well below n = 10⁶ (see README "Sharded
+		// execution" for the arithmetic). The million tier above crosses
+		// that wall with the O(1)-state push-pull family instead.
 		auto := runtime.NumCPU()
 		if auto < 2 {
 			auto = 2 // always drive the sharded engine, even on one CPU
@@ -191,8 +217,9 @@ func run(args []string, out io.Writer) error {
 		quick   = fs.Bool("quick", false, "CI scale (smaller n sweep and fewer seeds)")
 		large   = fs.Bool("large", false, "large-n sweep (n up to 50000, lean trackers)")
 		xlarge  = fs.Bool("xlarge", false, "sharded lean sweep beyond the large tier (n up to 100000)")
+		million = fs.Bool("million", false, "million-node push-pull cells, lean and sharded")
 		outPath = fs.String("out", "BENCH_gossip.json", "artifact path")
-		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full, 2 large/xlarge)")
+		seeds   = fs.Int("seeds", 0, "seeds per cell (0 = scale default: 3 quick, 5 full, 2 large/xlarge, 1 million)")
 		workers = fs.Int("workers", 0, "worker pool for each cell's seed grid (0 = GOMAXPROCS)")
 		shards  = fs.Int("shards", 0, "superstep shards per run (0 = per-cell defaults; results are identical for every value)")
 		check   = fs.String("check", "", "validate an existing artifact instead of running the suite")
@@ -225,8 +252,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q (did you mean -check %s or -compare BASE.json %s?)",
 			fs.Arg(0), fs.Arg(0), fs.Arg(0))
 	}
-	if n := btoi(*quick) + btoi(*large) + btoi(*xlarge); n > 1 {
-		return fmt.Errorf("-quick, -large and -xlarge are mutually exclusive")
+	if n := btoi(*quick) + btoi(*large) + btoi(*xlarge) + btoi(*million); n > 1 {
+		return fmt.Errorf("-quick, -large, -xlarge and -million are mutually exclusive")
 	}
 	if *overlap && *compare == "" {
 		return fmt.Errorf("-overlap only makes sense with -compare")
@@ -244,6 +271,8 @@ func run(args []string, out io.Writer) error {
 		scale, cellSeeds = "large", 2
 	case *xlarge:
 		scale, cellSeeds = "xlarge", 2
+	case *million:
+		scale, cellSeeds = "million", 1
 	}
 	if *seeds > 0 {
 		cellSeeds = *seeds
@@ -298,6 +327,7 @@ func run(args []string, out io.Writer) error {
 				SeedLabel: name,
 			}
 			spec.Gossip.Lean = cell.lean
+			spec.Gossip.PushPullC = cell.pushC
 			spec.Shards = cell.shards
 			if *shards > 0 {
 				spec.Shards = *shards
@@ -508,8 +538,10 @@ func validate(f *benchFile) error {
 	if _, err := time.Parse(time.RFC3339, f.Generated); err != nil {
 		return fmt.Errorf("generated timestamp: %w", err)
 	}
-	if f.Scale != "quick" && f.Scale != "full" && f.Scale != "large" && f.Scale != "xlarge" {
-		return fmt.Errorf("scale %q, want quick|full|large|xlarge", f.Scale)
+	switch f.Scale {
+	case "quick", "full", "large", "xlarge", "million":
+	default:
+		return fmt.Errorf("scale %q, want quick|full|large|xlarge|million", f.Scale)
 	}
 	if f.Workers <= 0 || f.Seeds <= 0 {
 		return fmt.Errorf("workers=%d seeds=%d must be positive", f.Workers, f.Seeds)

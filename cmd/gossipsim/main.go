@@ -27,7 +27,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		proto   = fs.String("proto", repro.ProtoEARS, "protocol: trivial|ears|sears|tears|sync-epidemic|sync-deterministic")
+		proto   = fs.String("proto", repro.ProtoEARS, "protocol: trivial|naive|ears|sears|tears|push|pull|push-pull|average|sync-epidemic|sync-deterministic")
 		n       = fs.Int("n", 128, "number of processes")
 		f       = fs.Int("f", 32, "crash budget")
 		d       = fs.Int("d", 2, "max message delay")

@@ -12,6 +12,8 @@
 //	tables -exp latency         # per-rumor dissemination latency
 //	tables -exp topology        # gossip across graph families
 //	tables -exp npsweep         # ears on G(n, c·ln n/n) density sweep
+//	tables -exp pushpull        # push/pull/push-pull on the same density axis
+//	tables -exp avgcurve        # averaging diffusion time vs ε
 //	tables -exp ablations       # design-choice sweeps
 //	tables -exp all -full       # everything, at the EXPERIMENTS.md scale
 //	tables -exp table1 -csv out # additionally write out/<name>.csv
@@ -43,7 +45,7 @@ type tabler interface {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|topology|npsweep|ablations|all")
+		exp     = fs.String("exp", "all", "experiment: table1|table2|figure1|coa|delta|fsweep|crossover|stages|latency|topology|npsweep|pushpull|avgcurve|ablations|all")
 		full    = fs.Bool("full", false, "full scale (EXPERIMENTS.md configuration; slower)")
 		d       = fs.Int("d", 2, "max message delay for the tables")
 		delta   = fs.Int("delta", 2, "max scheduling gap for the tables")
@@ -98,6 +100,8 @@ func run(args []string, out io.Writer) error {
 		{"latency", func() (tabler, error) { return experiments.RumorLatencyTables(env, *seed) }},
 		{"topology", func() (tabler, error) { return experiments.TopologySweep(env, *seed) }},
 		{"npsweep", func() (tabler, error) { return experiments.NPSweep(env, *seed) }},
+		{"pushpull", func() (tabler, error) { return experiments.PushPullSweep(env, *seed) }},
+		{"avgcurve", func() (tabler, error) { return experiments.AveragingCurve(env, *seed) }},
 	}
 	for _, j := range jobs {
 		if !want(j.name) {

@@ -18,6 +18,14 @@
 //     gossip, §5) — or a baseline (trivial all-to-all, synchronous
 //     epidemics) under a configurable adversary, and reports the paper's
 //     two complexity measures: time steps and point-to-point messages.
+//     Two further protocol families ride the same spec: the single-rumor
+//     spreading family (ProtoPush, ProtoPull, ProtoPushPull — an
+//     informed bit and a send budget per process, the O(1)-state
+//     workload the asynchronous push-pull literature analyzes), and
+//     sum-weight averaging (ProtoAverage — push-sum over (sum, weight)
+//     pairs until every estimate is within GossipConfig.AvgEpsilon of
+//     the true mean; crash-free by construction, since crashes destroy
+//     mass).
 //
 //   - ConsensusSpec simulates randomized binary consensus in the
 //     Canetti–Rabin framework (§6) with get-core realized by all-to-all
@@ -98,7 +106,10 @@
 // sharded ≡ serial fuzz oracle over random scenarios and shard counts.
 // Sharding composes with snapshot pooling (each shard owns a pool
 // partition) and with WithLean for memory-bounded large-n runs; the
-// cmd/bench -xlarge tier runs both nightly.
+// cmd/bench -xlarge tier runs both nightly, and the nightly -million
+// tier pushes the combination to n = 10⁶ with push-pull — the O(1)
+// per-process state makes a million processes an event-throughput
+// problem rather than a memory problem.
 //
 // # Determinism contract
 //

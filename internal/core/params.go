@@ -37,6 +37,24 @@ type Params struct {
 	// κ = TearsKappa·n^¼·log₂n (paper: κ = 8·n^¼·log n, Figure 3 line 4).
 	TearsKappa float64
 
+	// PushPullC scales the push/pull/push-pull proactive-send budget
+	// Θ(n/(n−f)·log n) per informed process (Panagiotou–Speidel study
+	// Θ(log n) rounds on G(n,p); the n/(n−f) factor compensates for
+	// pushes wasted on crashed targets, as in the ears shut-down phase).
+	PushPullC float64
+
+	// AvgC scales the sum-weight averaging send budget per process:
+	// R = AvgC·(log₂n + log₂(1/ε)) local sends. Picard et al.'s
+	// non-asymptotic bounds give ε-consensus after Θ(log n + log(1/ε))
+	// rounds on graphs with constant spectral gap; AvgC is the safety
+	// factor over that.
+	AvgC float64
+
+	// AvgEpsilon is the averaging consensus tolerance ε: the evaluator
+	// accepts when every live process's estimate s/w is within ε of the
+	// true mean of the initial values.
+	AvgEpsilon float64
+
 	// WithVals makes rumors carry one-byte values (used by consensus).
 	WithVals bool
 
@@ -106,6 +124,15 @@ func (p Params) WithDefaults() Params {
 	if p.TearsKappa == 0 {
 		p.TearsKappa = 1
 	}
+	if p.PushPullC == 0 {
+		p.PushPullC = 6
+	}
+	if p.AvgC == 0 {
+		p.AvgC = 8
+	}
+	if p.AvgEpsilon == 0 {
+		p.AvgEpsilon = 1e-2
+	}
 	return p
 }
 
@@ -120,8 +147,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: ShutdownC = %v, must be >= 0", p.ShutdownC)
 	case p.Epsilon < 0 || p.Epsilon >= 1:
 		return fmt.Errorf("core: Epsilon = %v, need 0 < ε < 1", p.Epsilon)
-	case p.FanC < 0 || p.TearsA < 0 || p.TearsKappa < 0:
+	case p.FanC < 0 || p.TearsA < 0 || p.TearsKappa < 0 || p.PushPullC < 0 || p.AvgC < 0:
 		return fmt.Errorf("core: negative tuning constant")
+	case p.AvgEpsilon < 0 || p.AvgEpsilon > 1:
+		return fmt.Errorf("core: AvgEpsilon = %v, need 0 < ε <= 1", p.AvgEpsilon)
 	case p.Graph != nil && p.Graph.N() != p.N:
 		return fmt.Errorf("core: topology has %d vertices for N = %d", p.Graph.N(), p.N)
 	}
@@ -221,3 +250,28 @@ func (p Params) tearsKappa() int {
 
 // Majority returns ⌊n/2⌋+1, the rumor target of majority gossip.
 func (p Params) Majority() int { return p.N/2 + 1 }
+
+// PushBudget returns the proactive-send budget of an informed push/pull
+// process: ⌈PushPullC·n/(n−f)·log₂n⌉, at least 1.
+func (p Params) PushBudget() int {
+	surv := p.N - p.F
+	if surv < 1 {
+		surv = 1
+	}
+	b := int(math.Ceil(p.PushPullC * float64(p.N) / float64(surv) * float64(log2(p.N))))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// AvgRounds returns the sum-weight averaging send budget per process:
+// ⌈AvgC·(log₂n + log₂⌈1/ε⌉)⌉, at least 1.
+func (p Params) AvgRounds() int {
+	invEps := int(math.Ceil(1 / p.AvgEpsilon))
+	r := int(math.Ceil(p.AvgC * float64(log2(p.N)+log2(invEps))))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}

@@ -29,9 +29,11 @@ const (
 )
 
 // Names lists the protocols provided by this package (naive is the §1
-// strawman ablation, not a paper contribution).
+// strawman ablation; push/pull/push-pull and average are the related-work
+// families of PAPERS.md, not paper contributions).
 func Names() []string {
-	return []string{NameTrivial, NameEARS, NameSEARS, NameTEARS, NameNaive}
+	return []string{NameTrivial, NameEARS, NameSEARS, NameTEARS, NameNaive,
+		NamePush, NamePull, NamePushPull, NameAverage}
 }
 
 // ByName returns the named protocol.
@@ -47,6 +49,14 @@ func ByName(name string) (Protocol, error) {
 		return TEARS{}, nil
 	case NameNaive:
 		return Naive{}, nil
+	case NamePush:
+		return PushPull{Push: true}, nil
+	case NamePull:
+		return PushPull{Pull: true}, nil
+	case NamePushPull:
+		return PushPull{Push: true, Pull: true}, nil
+	case NameAverage:
+		return Average{}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %q (have %v)", name, Names())
 	}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// PushPull is the single-rumor asynchronous rumor-spreading family in the
+// style of Panagiotou & Speidel ("Asynchronous Rumor Spreading on Random
+// Graphs"): process 0 starts informed and the rumor spreads by pushes
+// (informed processes transmit to sampled targets), pulls (uninformed
+// processes solicit sampled targets, who answer if informed), or both.
+// Targets are sampled uniformly on [n] on the paper's complete graph and
+// uniformly from the sender's neighborhood on an explicit topology — the
+// G(n,p) setting the Panagiotou–Speidel regime shifts live in.
+//
+// Unlike the paper's n-rumor gossip, per-process state is O(1): an
+// informed bit, its acquisition time and a send budget. That is what lets
+// this family cross the memory wall — a million-process run carries a few
+// machine words per process where ears-style rumor sets carry Θ(n) bits.
+//
+// Quiescence is by send budget, as in the §1 strawman but with the pull
+// side keeping liveness honest: an informed process stops after
+// ⌈PushPullC·n/(n−f)·log₂n⌉ proactive sends, while an uninformed
+// pull-capable process keeps soliciting until informed (and informed
+// processes always answer solicitations — answers are reactive and do not
+// consume budget). Push-only runs are therefore Monte Carlo with failure
+// probability vanishing in the budget constant; pull-capable runs complete
+// with probability 1 while some informed process is live.
+type PushPull struct {
+	// Push makes informed processes proactively transmit the rumor.
+	Push bool
+	// Pull makes uninformed processes solicit the rumor.
+	Pull bool
+}
+
+var _ Protocol = PushPull{}
+
+// Protocol names of the three variants.
+const (
+	NamePush     = "push"
+	NamePull     = "pull"
+	NamePushPull = "push-pull"
+)
+
+// Name implements Protocol.
+func (pp PushPull) Name() string {
+	switch {
+	case pp.Push && pp.Pull:
+		return NamePushPull
+	case pp.Pull:
+		return NamePull
+	default:
+		return NamePush
+	}
+}
+
+// NewNode implements Protocol. Process 0 is the initiator: it starts
+// informed at time 0 with a full push budget.
+func (pp PushPull) NewNode(id sim.ProcID, p Params, r *rng.RNG) sim.Node {
+	p = p.WithDefaults()
+	nd := &ppNode{
+		id:    id,
+		push:  pp.Push,
+		pull:  pp.Pull,
+		peers: p.sampler(int(id)),
+		r:     r,
+	}
+	if pp.Push {
+		nd.budget = p.PushBudget()
+	}
+	if id == 0 {
+		nd.informed = true
+		nd.pushLeft = nd.budget
+	}
+	return nd
+}
+
+// Evaluator implements Protocol.
+func (pp PushPull) Evaluator(p Params) sim.Evaluator {
+	return InformedEvaluator{Params: p.WithDefaults()}
+}
+
+// Rumor-spreading payloads: shared one-byte singletons, so the million-
+// process tier sends without allocating and without pool refcounts.
+type ppPayload uint8
+
+const (
+	ppRumor   ppPayload = iota // "here is the rumor" (push, or pull answer)
+	ppRequest                  // "send me the rumor if you have it"
+)
+
+var _ sim.Sizer = ppPayload(0)
+
+// SizeBytes implements sim.Sizer: the rumor is a single bit, transmitted
+// as one byte.
+func (ppPayload) SizeBytes() int { return 1 }
+
+type ppNode struct {
+	id         sim.ProcID
+	push, pull bool
+	informed   bool
+	informedAt sim.Time
+	budget     int // proactive sends granted on becoming informed
+	pushLeft   int
+	peers      topology.Sampler
+	r          *rng.RNG
+}
+
+var (
+	_ sim.Node   = (*ppNode)(nil)
+	_ Informed   = (*ppNode)(nil)
+	_ sim.Cloner = (*ppNode)(nil)
+)
+
+// ID implements sim.Node.
+func (nd *ppNode) ID() sim.ProcID { return nd.id }
+
+// Step implements sim.Node: absorb the rumor, answer solicitations, then
+// make this step's proactive send (one push if informed and in budget, one
+// pull request if uninformed and pull-capable).
+func (nd *ppNode) Step(now sim.Time, inbox []sim.Message, out *sim.Outbox) {
+	for _, m := range inbox {
+		pl, ok := m.Payload.(ppPayload)
+		if !ok {
+			continue
+		}
+		if pl == ppRumor && !nd.informed {
+			nd.informed = true
+			nd.informedAt = now
+			nd.pushLeft = nd.budget
+		}
+	}
+	if nd.informed {
+		// Reactive answers: every solicitation delivered this step gets the
+		// rumor back, budget-free. Requesters are uninformed, so each
+		// answer retires its requester — the exchange cannot ping-pong.
+		for _, m := range inbox {
+			if pl, ok := m.Payload.(ppPayload); ok && pl == ppRequest {
+				out.Send(m.From, ppRumor)
+			}
+		}
+		if nd.pushLeft > 0 {
+			nd.pushLeft--
+			if q, ok := nd.peers.One(nd.r); ok {
+				out.Send(sim.ProcID(q), ppRumor)
+			}
+		}
+		return
+	}
+	if nd.pull {
+		if q, ok := nd.peers.One(nd.r); ok {
+			out.Send(sim.ProcID(q), ppRequest)
+		}
+	}
+}
+
+// Quiescent implements sim.Node: an informed process rests once its budget
+// is spent (reactive answers are still sent if solicitations arrive — but
+// a pending solicitation keeps the world non-quiet by itself); an
+// uninformed process rests only if it has no pull side to run.
+func (nd *ppNode) Quiescent() bool {
+	if !nd.informed {
+		return !nd.pull
+	}
+	return nd.pushLeft == 0
+}
+
+// Informed implements the Informed interface.
+func (nd *ppNode) Informed() bool { return nd.informed }
+
+// InformedAt implements the Informed interface.
+func (nd *ppNode) InformedAt() sim.Time { return nd.informedAt }
+
+// CloneNode implements sim.Cloner.
+func (nd *ppNode) CloneNode() sim.Node {
+	c := *nd
+	c.r = nd.r.Clone()
+	return &c
+}
+
+// Reseed implements Reseeder.
+func (nd *ppNode) Reseed(r *rng.RNG) { nd.r = r }
+
+// Informed is implemented by nodes of single-rumor spreading protocols:
+// whether the process holds the rumor and when it acquired it (0 for the
+// initiator).
+type Informed interface {
+	Informed() bool
+	InformedAt() sim.Time
+}
+
+// InformedEvaluator judges single-rumor spreading: every live process is
+// informed, and information flowed from the initiator — if anyone beyond
+// process 0 is informed, process 0 must have taken a step (nothing spreads
+// out of an unscheduled initiator). CompletedAt is the last acquisition
+// time over live processes.
+type InformedEvaluator struct {
+	Params Params
+}
+
+var _ sim.Evaluator = InformedEvaluator{}
+
+// Evaluate implements sim.Evaluator.
+func (e InformedEvaluator) Evaluate(v sim.View) sim.Outcome {
+	var completedAt sim.Time
+	for p := 0; p < v.N(); p++ {
+		nd, ok := v.Node(sim.ProcID(p)).(Informed)
+		if !ok {
+			return sim.Outcome{Detail: fmt.Sprintf("node %d does not implement Informed", p)}
+		}
+		if p != 0 && nd.Informed() && v.StepsTaken(0) == 0 {
+			return sim.Outcome{Detail: fmt.Sprintf(
+				"validity violated: process %d is informed but the initiator never took a step", p)}
+		}
+		if !v.Alive(sim.ProcID(p)) {
+			continue
+		}
+		if !nd.Informed() {
+			return sim.Outcome{Detail: fmt.Sprintf(
+				"spreading violated: correct process %d is uninformed", p)}
+		}
+		if at := nd.InformedAt(); at > completedAt {
+			completedAt = at
+		}
+	}
+	return sim.Outcome{OK: true, CompletedAt: completedAt}
+}

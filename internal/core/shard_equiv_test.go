@@ -47,6 +47,14 @@ func TestShardedProtocolsMatchSerial(t *testing.T) {
 		}
 		for _, preset := range presets {
 			cfg := sim.Config{N: 26, F: 5, D: 3, Delta: 2, Seed: 9}
+			switch protoName {
+			case NamePush, NamePull, NamePushPull, NameAverage:
+				// Crashes are outside these families' promises (a crashed
+				// initiator orphans the rumor; a crash destroys averaging
+				// mass). F=0 keeps the evaluator honest while the presets'
+				// shared delay streams still exercise the replay order.
+				cfg.F = 0
+			}
 			ref, refDig := shardedGossipRun(t, proto, cfg, preset)
 			for _, shards := range []int{2, 3, 7, 26} {
 				scfg := cfg

@@ -295,6 +295,54 @@ func TestCrossoverQuick(t *testing.T) {
 	t.Logf("\n%s", res.Render())
 }
 
+func TestPushPullSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	res, err := PushPullSweep(Env{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Panagiotou–Speidel regime: once density clears the connectivity
+	// threshold, asynchronous spreading time is density-insensitive — the
+	// densest point must not beat the sparsest by more than a small factor.
+	for _, proto := range res.Variants {
+		series := res.Time[proto]
+		first, last := series[0].Mean, series[len(series)-1].Mean
+		if last <= 0 || first <= 0 {
+			t.Fatalf("%s: degenerate times:\n%s", proto, res.Render())
+		}
+		if first > 3*last {
+			t.Errorf("%s: time fell %.1fx across the density sweep, want near-flat:\n%s",
+				proto, first/last, res.Render())
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestAveragingCurveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	res, err := AveragingCurve(Env{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-asymptotic diffusion time: tightening ε costs rounds linearly in
+	// log(1/ε), so both the budget and the measured time must increase
+	// monotonically along the curve.
+	for i := 1; i < len(res.Epsilons); i++ {
+		if res.Rounds[i] <= res.Rounds[i-1] {
+			t.Errorf("round budget not increasing: R(ε=%g)=%d vs R(ε=%g)=%d",
+				res.Epsilons[i], res.Rounds[i], res.Epsilons[i-1], res.Rounds[i-1])
+		}
+		if res.Time[i].Mean <= res.Time[i-1].Mean {
+			t.Errorf("diffusion time not increasing at ε=%g:\n%s", res.Epsilons[i], res.Render())
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
 func TestEarsStagesQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stages in -short mode")

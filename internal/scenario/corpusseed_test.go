@@ -22,8 +22,10 @@ var regenCorpusSeed = flag.Bool("regen-corpus-seed", false,
 const corpusSeedDir = "../../testdata/corpus-seed"
 
 // seedSpecs is the mini-corpus domain: the asynchronous protocols with
-// crashes on the clique, the crash-free sync baselines, ears and sears
-// across all six generated families, and one sharded-twin entry.
+// crashes on the clique (initiator-sparing crashes for the spreading
+// family), the crash-free sync baselines and averaging, ears and sears
+// across all six generated families, push-pull and averaging on the
+// expander families, and one sharded-twin entry.
 func seedSpecs() []Spec {
 	async := func(proto string, n, f int, majority bool) Spec {
 		return finishSeedSpec(Spec{
@@ -63,12 +65,32 @@ func seedSpecs() []Spec {
 		async("naive", 24, 3, false),
 		sync("sync-epidemic"),
 		sync("sync-deterministic"),
+		// The O(1)-state families: spreading with initiator-sparing crashes
+		// (async's victims are 1, 4 and 2), averaging crash-free.
+		async("push", 24, 3, false),
+		async("pull", 24, 3, false),
+		async("push-pull", 24, 3, false),
+		finishSeedSpec(Spec{
+			Protocol: "average", N: 24, F: 0, D: 2, Delta: 2, Seed: 1234,
+			Schedule:       ScheduleSpec{Kind: SchedStride, Seed: 51},
+			Delay:          DelaySpec{Kind: DelayUniform, Seed: 52},
+			ExpectComplete: true,
+		}),
 	}
 	for _, proto := range []string{"ears", "sears"} {
 		for _, family := range genSparseFamilies {
 			param := 0.0
 			if family == topology.FamilyRandomRegular {
 				param = 4
+			}
+			specs = append(specs, sparse(proto, family, param))
+		}
+	}
+	for _, proto := range []string{"push-pull", "average"} {
+		for _, family := range genExpanderFamilies {
+			param := 0.0
+			if family == topology.FamilyRandomRegular {
+				param = 6
 			}
 			specs = append(specs, sparse(proto, family, param))
 		}

@@ -5,10 +5,8 @@ import (
 	"math/bits"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/syncgossip"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -191,15 +189,17 @@ func Mutate(s Spec, r *rng.RNG) Spec {
 	// fresh stream's job, and steering spends its budget near envelopes.
 	m.CheckEquivalence = false
 
-	sync := m.Protocol == syncgossip.NameSyncEpidemic || m.Protocol == syncgossip.NameSyncDeterministic
-	relay := m.Protocol == core.NameEARS || m.Protocol == core.NameSEARS
+	sync := isSyncProto(m.Protocol)
+	relay := isRelayProto(m.Protocol)
+	spread := isSpreadProto(m.Protocol)
+	avg := isAvgProto(m.Protocol)
 
 	for ops := 1 + r.Intn(3); ops > 0; ops-- {
 		switch r.Intn(8) {
 		case 0: // nudge n
 			m.N = clampInt(m.N+nudge(r, 8), genMinN, mutMaxN)
 		case 1: // nudge f toward (or away from) the n/2 cliff
-			if !sync && m.Topology == "" {
+			if !sync && !avg && m.Topology == "" {
 				m.F = clampInt(m.F+nudge(r, 3), 0, (m.N-1)/2)
 			}
 		case 2: // nudge d
@@ -210,7 +210,7 @@ func Mutate(s Spec, r *rng.RNG) Spec {
 			if !sync {
 				m.Delta = int64(clampInt(int(m.Delta)+nudge(r, 2), 1, mutMaxDelta))
 			}
-		case 4: // swap topology within the generated families
+		case 4: // swap topology within the protocol's generated families
 			if relay && m.Topology != "" {
 				m.Topology = genSparseFamilies[r.Intn(len(genSparseFamilies))]
 				m.TopologySeed = r.Int63()
@@ -218,9 +218,16 @@ func Mutate(s Spec, r *rng.RNG) Spec {
 				if m.Topology == topology.FamilyRandomRegular {
 					m.TopologyParam = float64(4 + 2*r.Intn(3))
 				}
+			} else if (spread || avg) && m.Topology != "" {
+				m.Topology = genExpanderFamilies[r.Intn(len(genExpanderFamilies))]
+				m.TopologySeed = r.Int63()
+				m.TopologyParam, m.TopologyParam2 = 0, 0
+				if m.Topology == topology.FamilyRandomRegular {
+					m.TopologyParam = float64(6 + 2*r.Intn(2))
+				}
 			}
 		case 5: // extend / perturb / redraw the crash schedule
-			if !sync && m.Topology == "" {
+			if !sync && !avg && m.Topology == "" {
 				mutateCrashes(&m, r)
 			}
 		case 6: // toggle the sharded twin
@@ -245,7 +252,7 @@ func Mutate(s Spec, r *rng.RNG) Spec {
 	// promise) and under n/2; crash events must reference live ids; the
 	// fixed delay re-clamps into [1, d]; the horizon follows the new
 	// parameters exactly as the generator's does.
-	if sync {
+	if sync || avg {
 		m.F = 0
 		m.Crashes = nil
 	}
@@ -258,7 +265,9 @@ func Mutate(s Spec, r *rng.RNG) Spec {
 	}
 	kept := m.Crashes[:0]
 	for _, c := range m.Crashes {
-		if c.Proc < m.N {
+		// Spread protocols keep the initiator alive: a crashed process 0
+		// orphans the rumor, which would be a scenario bug, not a kernel bug.
+		if c.Proc < m.N && !(spread && c.Proc == 0) {
 			kept = append(kept, c)
 		}
 	}

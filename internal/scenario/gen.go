@@ -30,6 +30,15 @@ import (
 //   - naive is the paper's §1 ablation and carries no completion promise;
 //     it is fuzzed for safety invariants and its deterministic message
 //     budget only.
+//   - The single-rumor spreading family (push, pull, push-pull) runs on
+//     the clique and on the expander-like families (Erdős–Rényi, random-
+//     regular — the Panagiotou–Speidel setting); low-degree rings and
+//     tori would void the logarithmic spreading-time promise. Crash plans
+//     protect process 0: a crashed initiator orphans the rumor, making
+//     non-completion a property of the scenario rather than a bug.
+//   - Sum-weight averaging (average) runs crash-free everywhere it is
+//     drawn: a crash destroys in-flight and resident mass, and the
+//     survivors then converge to a value that is not the mean.
 const (
 	genMinN     = 8
 	genMaxN     = 64 // inclusive
@@ -64,7 +73,26 @@ var genProtocols = []struct {
 	{core.NameNaive, 2},
 	{syncgossip.NameSyncEpidemic, 1},
 	{syncgossip.NameSyncDeterministic, 1},
+	// The O(1)-state families (PR 9). Appended at the end: the draw table
+	// is positional, so appending shifts the (master, index) → scenario
+	// mapping once — accepted, the corpus is content-addressed — while
+	// keeping the entries themselves stable for future additions.
+	{core.NamePush, 2},
+	{core.NamePull, 2},
+	{core.NamePushPull, 2},
+	{core.NameAverage, 2},
 }
+
+// Protocol classes: the domain rules above key off these predicates, and
+// Mutate uses them to pick applicable operators.
+func isSyncProto(p string) bool {
+	return p == syncgossip.NameSyncEpidemic || p == syncgossip.NameSyncDeterministic
+}
+func isRelayProto(p string) bool { return p == core.NameEARS || p == core.NameSEARS }
+func isSpreadProto(p string) bool {
+	return p == core.NamePush || p == core.NamePull || p == core.NamePushPull
+}
+func isAvgProto(p string) bool { return p == core.NameAverage }
 
 // genSparseFamilies are the generated-graph families drawn for the
 // relay-capable protocols (plus the implicit clique, drawn separately).
@@ -75,6 +103,15 @@ var genSparseFamilies = []string{
 	topology.FamilyErdosRenyi,
 	topology.FamilyWattsStrogatz,
 	topology.FamilyBarabasiAlbert,
+}
+
+// genExpanderFamilies are the generated-graph families drawn for the
+// O(1)-state families: the expander-like graphs whose conductance keeps
+// the logarithmic spreading/diffusion budgets honest. Rings and tori are
+// deliberately absent — on them the promises do not hold.
+var genExpanderFamilies = []string{
+	topology.FamilyErdosRenyi,
+	topology.FamilyRandomRegular,
 }
 
 // Generate derives the index-th scenario of a master seed's stream. It is
@@ -91,8 +128,10 @@ func Generate(master, index int64) Spec {
 	s.Seed = r.Int63()
 	s.CheckEquivalence = index%equivalenceEvery == 0
 
-	sync := s.Protocol == syncgossip.NameSyncEpidemic || s.Protocol == syncgossip.NameSyncDeterministic
-	relay := s.Protocol == core.NameEARS || s.Protocol == core.NameSEARS
+	sync := isSyncProto(s.Protocol)
+	relay := isRelayProto(s.Protocol)
+	spread := isSpreadProto(s.Protocol)
+	avg := isAvgProto(s.Protocol)
 
 	// Topology: the clique always; generated families only for protocols
 	// that relay until their informed-lists say everyone is covered (ears,
@@ -100,12 +139,20 @@ func Generate(master, index int64) Spec {
 	// structure quiesces after √n·log n-sized pushes, which on low-degree
 	// graphs legitimately under-covers the majority (the fuzzer found
 	// exactly this on rings and tori). trivial has no relay at all; naive
-	// and the sync baselines are fuzzed on the paper's model.
+	// and the sync baselines are fuzzed on the paper's model. The O(1)-state
+	// families draw from the expander-like subset, where their budgets are
+	// promised.
 	if relay && r.Bool(0.4) {
 		s.Topology = genSparseFamilies[r.Intn(len(genSparseFamilies))]
 		s.TopologySeed = r.Int63()
 		if s.Topology == topology.FamilyRandomRegular {
 			s.TopologyParam = float64(4 + 2*r.Intn(3)) // degree 4, 6 or 8
+		}
+	} else if (spread || avg) && r.Bool(0.4) {
+		s.Topology = genExpanderFamilies[r.Intn(len(genExpanderFamilies))]
+		s.TopologySeed = r.Int63()
+		if s.Topology == topology.FamilyRandomRegular {
+			s.TopologyParam = float64(6 + 2*r.Intn(2)) // degree 6 or 8
 		}
 	}
 
@@ -117,8 +164,10 @@ func Generate(master, index int64) Spec {
 		s.Delta = 1 + int64(r.Intn(genMaxDelta))
 	}
 
-	// Failures: only where a crash cannot invalidate the promise.
-	if !sync && s.Topology == "" {
+	// Failures: only where a crash cannot invalidate the promise. Averaging
+	// is always crash-free — a crash destroys (sum, weight) mass and shifts
+	// the survivors' limit away from the mean.
+	if !sync && !avg && s.Topology == "" {
 		s.F = r.Intn(s.N / 2)
 	}
 
@@ -229,7 +278,17 @@ func drawCrashPlan(r *rng.RNG, s Spec) []CrashEvent {
 	if victims == 0 {
 		return nil
 	}
-	procs := r.Sample(s.N, victims)
+	var procs []int
+	if isSpreadProto(s.Protocol) {
+		// Protect the initiator: a crashed process 0 orphans the rumor and
+		// makes non-completion a property of the scenario, not a bug.
+		procs = r.Sample(s.N-1, victims)
+		for i := range procs {
+			procs[i]++
+		}
+	} else {
+		procs = r.Sample(s.N, victims)
+	}
 	window := 2 * healScale(s)
 	events := make([]CrashEvent, len(procs))
 	switch r.Intn(3) {

@@ -69,6 +69,24 @@ var goldenCases = []struct {
 		},
 		digest: 0x4823f234e3627755, events: 2664,
 	},
+	// The O(1)-state families: the spreading variants reuse the common
+	// shape (its crash plan spares the initiator — victims are 1, 4, 2);
+	// averaging runs crash-free, its only promised domain. The average
+	// digest also pins float determinism indirectly: any change to the
+	// fold order shifts when mass stops moving and thus the event stream.
+	{name: "push", spec: goldenSpec("push", 24, 3), digest: 0x33920498d1c6aa5e, events: 2332},
+	{name: "pull", spec: goldenSpec("pull", 24, 3), digest: 0x0e7f6ee5183e52f0, events: 475},
+	{name: "push-pull", spec: goldenSpec("push-pull", 24, 3), digest: 0x738a0374dcd6152a, events: 2458},
+	{
+		name: "average",
+		spec: Spec{
+			Protocol: "average", N: 24, F: 0, D: 2, Delta: 2,
+			Seed: 1234, MaxSteps: 200000,
+			Schedule: ScheduleSpec{Kind: SchedStride, Seed: 51},
+			Delay:    DelaySpec{Kind: DelayUniform, Seed: 52},
+		},
+		digest: 0x89b39463a43cf156, events: 6960,
+	},
 	{
 		// ears on a ring also pins the neighborhood-scoped informed-list
 		// obligation (the livelock fix): a regression back to [n]-wide

@@ -59,8 +59,27 @@ func TestGenerateDomain(t *testing.T) {
 			if s.F != 0 {
 				t.Fatalf("index %d: crashes drawn on sparse topology %s", index, s.Topology)
 			}
-			if s.Protocol != "ears" && s.Protocol != "sears" {
+			switch {
+			case isRelayProto(s.Protocol):
+				// any generated family
+			case isSpreadProto(s.Protocol) || isAvgProto(s.Protocol):
+				if s.Topology != topology.FamilyErdosRenyi && s.Topology != topology.FamilyRandomRegular {
+					t.Fatalf("index %d: %s on non-expander topology %s", index, s.Protocol, s.Topology)
+				}
+			default:
 				t.Fatalf("index %d: non-relay protocol %s on topology %s", index, s.Protocol, s.Topology)
+			}
+		}
+		// Averaging is crash-free: budget always 0, so any listed crash
+		// events are deliberately-overbudget plans the kernel must refuse.
+		if isAvgProto(s.Protocol) && s.F != 0 {
+			t.Fatalf("index %d: averaging drawn with crash budget: %+v", index, s)
+		}
+		if isSpreadProto(s.Protocol) {
+			for _, c := range s.Crashes {
+				if c.Proc == 0 {
+					t.Fatalf("index %d: crash plan kills the spreading initiator: %+v", index, s)
+				}
 			}
 		}
 		if len(s.Crashes) > s.F {

@@ -23,11 +23,17 @@ type Metrics struct {
 	Steps []int64
 	// Crashes is the number of processes crashed during the run.
 	Crashes int
-	// LastSendAt is the time of the last message send (0 if none).
+	// LastSendAt is the time of the last message send, or -1 if no message
+	// was ever sent (a genuine send at t=0 records 0).
 	LastSendAt Time
 	// OffEdgeDrops counts sends dropped because the configured topology
 	// has no edge between sender and target (0 when no topology is set).
 	OffEdgeDrops int64
+	// OutOfRangeDrops counts sends dropped because the target id was
+	// outside [0, n). Like off-edge drops these never reach the wire and
+	// do not count as messages, but a nonzero tally flags a protocol (or
+	// harness) addressing processes that do not exist.
+	OutOfRangeDrops int64
 }
 
 func newMetrics(n int) *Metrics {
@@ -35,6 +41,7 @@ func newMetrics(n int) *Metrics {
 		SentBy:      make([]int64, n),
 		DeliveredTo: make([]int64, n),
 		Steps:       make([]int64, n),
+		LastSendAt:  -1,
 	}
 }
 
@@ -69,12 +76,14 @@ type Result struct {
 	// QuiesceAt is the time at which the world went quiet: every live node
 	// quiescent and no message in flight to a live node.
 	QuiesceAt Time
-	// LastSendAt is the time of the last message send.
+	// LastSendAt is the time of the last message send (-1 if none).
 	LastSendAt Time
 	// TimeComplexity is the paper's notion of gossip completion time: the
 	// time by which every correct process has both gathered what it must
 	// and stopped sending, i.e. max(CompletedAt, LastSendAt) for a
-	// successful run.
+	// successful run. Timed-out runs record max(QuiesceAt, LastSendAt) —
+	// the horizon actually burned — so telemetry and envelope-tightness
+	// stats never see a spurious zero.
 	TimeComplexity Time
 	// Messages is the total number of point-to-point messages.
 	Messages int64
@@ -90,6 +99,8 @@ type Result struct {
 	Crashes int
 	// OffEdgeDrops counts sends dropped for lack of a topology edge.
 	OffEdgeDrops int64
+	// OutOfRangeDrops counts sends dropped for an out-of-range target id.
+	OutOfRangeDrops int64
 	// Detail carries the evaluator's violation description when !Completed.
 	Detail string
 }

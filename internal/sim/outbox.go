@@ -7,6 +7,10 @@ type Outbox struct {
 	now  Time
 	n    int
 	msgs []Message
+	// oorDrops counts sends this step whose target was outside [0, n).
+	// The world folds it into Metrics.OutOfRangeDrops after each step so
+	// dropped sends leave a trace, mirroring the off-edge tally.
+	oorDrops int64
 }
 
 // NewOutbox returns a standalone outbox for harnesses that drive nodes
@@ -32,14 +36,22 @@ func (o *Outbox) reset(from ProcID, now Time, n int) {
 	o.now = now
 	o.n = n
 	o.msgs = o.msgs[:0]
+	o.oorDrops = 0
 }
 
+// OutOfRangeDrops returns the number of sends dropped this step because the
+// target was outside [0, n). Standalone harnesses (NewOutbox) can read it
+// directly; worlds fold it into Metrics.OutOfRangeDrops.
+func (o *Outbox) OutOfRangeDrops() int64 { return o.oorDrops }
+
 // Send enqueues a point-to-point message to the given process. Sends to
-// out-of-range targets are dropped. Self-sends are permitted (the paper's
-// protocols pick targets uniformly from [n], which includes the sender) and
-// are counted as messages, delivered like any other.
+// out-of-range targets are dropped and tallied in OutOfRangeDrops.
+// Self-sends are permitted (the paper's protocols pick targets uniformly
+// from [n], which includes the sender) and are counted as messages,
+// delivered like any other.
 func (o *Outbox) Send(to ProcID, payload Payload) {
 	if int(to) < 0 || int(to) >= o.n {
+		o.oorDrops++
 		return
 	}
 	o.msgs = append(o.msgs, Message{

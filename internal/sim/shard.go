@@ -74,6 +74,7 @@ func EffectiveShards(n, shards int) int {
 type procRec struct {
 	delivLo, delivHi int32
 	sentLo, sentHi   int32
+	oorDrops         int64 // out-of-range drops from this Step's outbox
 }
 
 // shardRun is the per-shard state of a sharded world.
@@ -234,6 +235,7 @@ func (e *shardEngine) phase1(s int) {
 		r.recs = append(r.recs, procRec{
 			delivLo: int32(dLo), delivHi: int32(dHi),
 			sentLo: int32(sLo), sentHi: int32(len(r.sent)),
+			oorDrops: r.outbox.oorDrops,
 		})
 	}
 }
@@ -258,6 +260,7 @@ func (e *shardEngine) replay(sched []ProcID) {
 		r := &e.sh[ShardOf(n, shards, p)]
 		rec := r.recs[r.cursor]
 		r.cursor++
+		w.metrics.OutOfRangeDrops += rec.oorDrops
 		if w.tracer != nil {
 			for _, m := range r.delivered[rec.delivLo:rec.delivHi] {
 				w.tracer.OnDeliver(m, w.now)

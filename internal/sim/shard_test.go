@@ -164,7 +164,8 @@ func requireSameRun(t *testing.T, label string, res, ref Result, dig, refDig *Di
 	}
 	if m.Messages != refM.Messages || m.Bytes != refM.Bytes ||
 		m.SizedMessages != refM.SizedMessages || m.Crashes != refM.Crashes ||
-		m.LastSendAt != refM.LastSendAt || m.OffEdgeDrops != refM.OffEdgeDrops {
+		m.LastSendAt != refM.LastSendAt || m.OffEdgeDrops != refM.OffEdgeDrops ||
+		m.OutOfRangeDrops != refM.OutOfRangeDrops {
 		t.Fatalf("%s: scalar metrics diverged:\n got %+v\nwant %+v", label, m, refM)
 	}
 	for p := range refM.SentBy {

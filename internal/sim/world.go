@@ -176,9 +176,17 @@ func (w *World) Run(eval Evaluator) (Result, error) {
 	res.BytesKnown = w.metrics.SizedMessages == w.metrics.Messages
 	res.Crashes = w.metrics.Crashes
 	res.OffEdgeDrops = w.metrics.OffEdgeDrops
+	res.OutOfRangeDrops = w.metrics.OutOfRangeDrops
 	if !quiet {
 		res.TimedOut = true
 		res.Detail = "timeout"
+		// The run burned its whole horizon: record it, rather than zeros,
+		// so telemetry and envelope-tightness stats see the real cost.
+		res.CompletedAt = res.QuiesceAt
+		res.TimeComplexity = res.QuiesceAt
+		if res.LastSendAt > res.TimeComplexity {
+			res.TimeComplexity = res.LastSendAt
+		}
 		return res, fmt.Errorf("%w (MaxSteps = %d, messages = %d)", ErrTimeout, w.cfg.MaxSteps, res.Messages)
 	}
 	out := Outcome{OK: true, CompletedAt: w.now}
@@ -235,10 +243,14 @@ func (w *World) stepTime() error {
 		w.probe(w)
 	}
 
-	// 4. δ validation (tests only).
+	// 4. δ validation (tests only). lastSched starts at -1, so the check
+	// covers the first window too: a process must take its first step by
+	// t = δ-1, i.e. within δ steps of time 0, exactly as in steady state.
+	// (An earlier `now >= δ` guard silently forgave a first schedule at
+	// t = δ — one whole missed window.)
 	if w.cfg.ValidateDelta {
 		for p := 0; p < w.cfg.N; p++ {
-			if w.alive[p] && w.now-w.lastSched[p] >= w.cfg.Delta && w.now >= w.cfg.Delta {
+			if w.alive[p] && w.now-w.lastSched[p] >= w.cfg.Delta {
 				return fmt.Errorf("%w: process %d not scheduled in (%d, %d]",
 					ErrDeltaViolated, p, w.lastSched[p], w.now)
 			}
@@ -254,6 +266,7 @@ func (w *World) stepProcess(p ProcID) error {
 	w.nodes[p].Step(w.now, inbox, &w.outbox)
 	w.metrics.Steps[p]++
 	w.lastSched[p] = w.now
+	w.metrics.OutOfRangeDrops += w.outbox.oorDrops
 	for i := range w.outbox.msgs {
 		m := w.outbox.msgs[i]
 		if w.cfg.Graph != nil && !w.cfg.Graph.HasEdge(int(m.From), int(m.To)) {

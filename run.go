@@ -302,13 +302,14 @@ func runGossipSpec(spec GossipSpec, o runOptions) (*GossipResult, error) {
 	}
 	res, runErr := w.Run(proto.Evaluator(p.WithDefaults()))
 	out := &GossipResult{
-		Completed:    res.Completed,
-		TimeSteps:    int64(res.TimeComplexity),
-		Messages:     res.Messages,
-		Bytes:        res.Bytes,
-		BytesKnown:   res.BytesKnown,
-		Crashes:      res.Crashes,
-		OffEdgeDrops: res.OffEdgeDrops,
+		Completed:       res.Completed,
+		TimeSteps:       int64(res.TimeComplexity),
+		Messages:        res.Messages,
+		Bytes:           res.Bytes,
+		BytesKnown:      res.BytesKnown,
+		Crashes:         res.Crashes,
+		OffEdgeDrops:    res.OffEdgeDrops,
+		OutOfRangeDrops: res.OutOfRangeDrops,
 	}
 	if tl != nil {
 		out.Timeline = tl.Render()
