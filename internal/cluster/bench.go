@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// BenchLiveSchema versions the BENCH_live.json artifact. Bump on any
+// incompatible field change, exactly as the fuzz bench artifact
+// (repro.bench.fuzz/v3) and the corpus (repro.fuzz.corpus/v1) do.
+const BenchLiveSchema = "repro.bench.live/v1"
+
+// BenchLive is the schema-versioned artifact of one live cluster run:
+// what ran, how fast it went, and whether the live oracles accepted it.
+type BenchLive struct {
+	Schema    string        `json:"schema"`
+	Mode      string        `json:"mode"`      // "inproc" | "procs"
+	Transport string        `json:"transport"` // always "tcp-loopback"
+	Spec      scenario.Spec `json:"spec"`
+	Label     string        `json:"label"`
+
+	WallMS        float64 `json:"wall_ms"`
+	QuiesceWallMS float64 `json:"quiesce_wall_ms"`
+	StepEveryUS   float64 `json:"step_every_us"`
+	TimedOut      bool    `json:"timed_out"`
+
+	Messages   int64   `json:"messages"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	Steps      int64   `json:"steps"`
+	Drained    int64   `json:"drained"`
+
+	// Delivery latency percentiles in microseconds, from the merged
+	// wall-clock trace (same-host clock, so sender-to-receiver is exact).
+	LatencyCount int64   `json:"latency_count"`
+	LatencyP50US float64 `json:"latency_p50_us"`
+	LatencyP90US float64 `json:"latency_p90_us"`
+	LatencyP99US float64 `json:"latency_p99_us"`
+	LatencyMaxUS float64 `json:"latency_max_us"`
+
+	Nodes []BenchLiveNode `json:"nodes"`
+
+	Verdicts  []Verdict `json:"verdicts"`
+	Passed    bool      `json:"passed"`
+	Completed bool      `json:"completed"`
+}
+
+// BenchLiveNode is one node's row in the artifact.
+type BenchLiveNode struct {
+	ID       int   `json:"id"`
+	Steps    int64 `json:"steps"`
+	Sent     int64 `json:"sent"`
+	Received int64 `json:"received"`
+	Drained  int64 `json:"drained"`
+	Crashed  bool  `json:"crashed"`
+}
+
+// NewBenchLive distills a Result into the artifact.
+func NewBenchLive(res *Result) BenchLive {
+	b := BenchLive{
+		Schema:        BenchLiveSchema,
+		Mode:          res.Mode,
+		Transport:     "tcp-loopback",
+		Spec:          res.Spec,
+		Label:         res.Spec.Label(),
+		WallMS:        float64(res.Wall.Microseconds()) / 1e3,
+		QuiesceWallMS: float64(res.QuiesceWall.Microseconds()) / 1e3,
+		StepEveryUS:   float64(res.StepEvery.Nanoseconds()) / 1e3,
+		TimedOut:      res.TimedOut,
+		Messages:      res.TotalSent,
+		Steps:         res.TotalSteps,
+		Drained:       res.TotalDrained,
+		LatencyCount:  res.Latency.Count,
+		LatencyP50US:  float64(res.Latency.P50) / 1e3,
+		LatencyP90US:  float64(res.Latency.P90) / 1e3,
+		LatencyP99US:  float64(res.Latency.P99) / 1e3,
+		LatencyMaxUS:  float64(res.Latency.Max) / 1e3,
+		Verdicts:      res.Verdicts,
+		Passed:        res.Passed,
+		Completed:     res.Completed,
+	}
+	if secs := res.Wall.Seconds(); secs > 0 {
+		b.MsgsPerSec = float64(res.TotalSent) / secs
+	}
+	for _, rp := range res.Reports {
+		b.Nodes = append(b.Nodes, BenchLiveNode{
+			ID: rp.ID, Steps: rp.Steps, Sent: rp.Sent,
+			Received: rp.Received, Drained: rp.Drained, Crashed: rp.Crashed,
+		})
+	}
+	return b
+}
+
+// WriteBenchLive writes the artifact as indented JSON.
+func WriteBenchLive(path string, b BenchLive) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchLive loads and validates an artifact: schema match, a runnable
+// spec, node rows consistent with it, and internally consistent totals.
+// cmd/cluster -check uses it as the CI gate on uploaded artifacts.
+func ReadBenchLive(path string) (BenchLive, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchLive{}, err
+	}
+	var b BenchLive
+	if err := json.Unmarshal(data, &b); err != nil {
+		return BenchLive{}, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	if err := ValidateBenchLive(b); err != nil {
+		return BenchLive{}, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// ValidateBenchLive checks artifact well-formedness.
+func ValidateBenchLive(b BenchLive) error {
+	if b.Schema != BenchLiveSchema {
+		return fmt.Errorf("schema %q, want %q", b.Schema, BenchLiveSchema)
+	}
+	if b.Mode != ModeInproc && b.Mode != ModeProcs {
+		return fmt.Errorf("unknown mode %q", b.Mode)
+	}
+	if err := b.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(b.Nodes) != b.Spec.N {
+		return fmt.Errorf("%d node rows for n = %d", len(b.Nodes), b.Spec.N)
+	}
+	var sent, steps, drained int64
+	crashed := 0
+	for i, nd := range b.Nodes {
+		if nd.ID != i {
+			return fmt.Errorf("node row %d carries id %d", i, nd.ID)
+		}
+		sent += nd.Sent
+		steps += nd.Steps
+		drained += nd.Drained
+		if nd.Crashed {
+			crashed++
+		}
+	}
+	if sent != b.Messages || steps != b.Steps || drained != b.Drained {
+		return fmt.Errorf("totals (messages=%d steps=%d drained=%d) disagree with node rows (%d, %d, %d)",
+			b.Messages, b.Steps, b.Drained, sent, steps, drained)
+	}
+	if crashed > b.Spec.F {
+		return fmt.Errorf("%d crashed node rows, budget f=%d", crashed, b.Spec.F)
+	}
+	if len(b.Verdicts) == 0 {
+		return fmt.Errorf("artifact carries no oracle verdicts")
+	}
+	for _, v := range b.Verdicts {
+		if !v.OK && b.Passed {
+			return fmt.Errorf("artifact claims passed with failing oracle %s: %s", v.Oracle, v.Detail)
+		}
+	}
+	if b.WallMS < 0 || b.QuiesceWallMS < 0 || b.Messages < 0 {
+		return fmt.Errorf("negative measurements")
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Live oracle subset: the scenario catalog's invariants that remain
+// judgeable without the simulator's event witness, re-derived from node
+// reports and the merged wall-clock trace. The kernel-witness oracles
+// (delay clamp, schedule gap, event order) do not transfer — real
+// networks make no (d, δ) promise — but crash budget, validity,
+// completion, the complexity envelopes (with extra wall-clock slack),
+// off-edge hygiene, post-crash silence and credit balance all do.
+
+// Live oracle names.
+const (
+	LiveOracleCrashBudget     = "live-crash-budget"
+	LiveOracleValidity        = "live-validity"
+	LiveOracleCompletion      = "live-completion"
+	LiveOracleMessageEnvelope = "live-message-envelope"
+	LiveOracleTimeEnvelope    = "live-time-envelope"
+	LiveOracleOffEdge         = "live-off-edge"
+	LiveOraclePostCrash       = "live-post-crash-silence"
+	LiveOracleCreditBalance   = "live-credit-balance"
+)
+
+// Extra slack the live oracles grant over the simulator's envelopes: the
+// Table 1 bounds quantify over the declared (d, δ) adversary, which TCP,
+// the Go scheduler and heartbeat pacing only approximate. The message
+// envelope inherits the spec bound almost unchanged (send budgets are
+// protocol state, not timing); the time envelope absorbs scheduler noise,
+// discovery, and the three-sweep quiescence confirmation.
+const (
+	liveMsgSlack  = 3.0
+	liveTimeSlack = 8.0
+	liveTimeGrace = 2 * time.Second
+)
+
+// Verdict is one live oracle's judgment of a finished run.
+type Verdict struct {
+	Oracle string `json:"oracle"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// CheckLive judges a finished run against the live oracle subset and
+// returns every verdict in catalog order.
+func CheckLive(res *Result) []Verdict {
+	checks := []struct {
+		name  string
+		check func(*Result) string
+	}{
+		{LiveOracleCrashBudget, checkLiveCrashBudget},
+		{LiveOracleValidity, checkLiveValidity},
+		{LiveOracleCompletion, checkLiveCompletion},
+		{LiveOracleMessageEnvelope, checkLiveMessageEnvelope},
+		{LiveOracleTimeEnvelope, checkLiveTimeEnvelope},
+		{LiveOracleOffEdge, checkLiveOffEdge},
+		{LiveOraclePostCrash, checkLivePostCrash},
+		{LiveOracleCreditBalance, checkLiveCreditBalance},
+	}
+	out := make([]Verdict, 0, len(checks))
+	for _, c := range checks {
+		detail := c.check(res)
+		out = append(out, Verdict{Oracle: c.name, OK: detail == "", Detail: detail})
+	}
+	return out
+}
+
+// checkLiveCrashBudget: at most f nodes crashed, and only nodes the
+// spec's crash plan names.
+func checkLiveCrashBudget(res *Result) string {
+	planned := make(map[int]bool)
+	for _, e := range res.Spec.Crashes {
+		planned[e.Proc] = true
+	}
+	crashed := 0
+	for _, rp := range res.Reports {
+		if !rp.Crashed {
+			continue
+		}
+		crashed++
+		if !planned[rp.ID] {
+			return fmt.Sprintf("node %d crashed but is not in the spec's crash plan", rp.ID)
+		}
+	}
+	if crashed > res.Spec.F {
+		return fmt.Sprintf("%d nodes crashed, budget f=%d", crashed, res.Spec.F)
+	}
+	return ""
+}
+
+// checkLiveValidity: no rumor out of thin air — a held rumor's originator
+// took at least one local step.
+func checkLiveValidity(res *Result) string {
+	steps := make(map[int]int64, len(res.Reports))
+	for _, rp := range res.Reports {
+		steps[rp.ID] = rp.Steps
+	}
+	if scenario.IsSpreadProtocol(res.Spec.Protocol) {
+		for _, rp := range res.Reports {
+			if rp.ID != 0 && rp.HasInformed && rp.Informed && steps[0] == 0 {
+				return fmt.Sprintf("node %d is informed, but initiator 0 never took a step", rp.ID)
+			}
+		}
+		return ""
+	}
+	for _, rp := range res.Reports {
+		if !rp.HasRumors {
+			continue
+		}
+		for _, r := range rp.Rumors {
+			if r != rp.ID && steps[r] == 0 {
+				return fmt.Sprintf("node %d holds rumor %d, but %d never took a step", rp.ID, r, r)
+			}
+		}
+	}
+	return ""
+}
+
+// checkLiveCompletion: scenarios with a completion promise quiesce in
+// time and every correct node holds what the promise requires, judged
+// from reported node state exactly as the simulator's completion oracle
+// judges raw node state.
+func checkLiveCompletion(res *Result) string {
+	if !res.Spec.ExpectComplete {
+		return ""
+	}
+	if res.TimedOut {
+		return fmt.Sprintf("cluster did not quiesce (sent=%d received=%d drained=%d)",
+			res.TotalSent, res.TotalReceived, res.TotalDrained)
+	}
+	return completionDetail(res.Spec, res.Reports)
+}
+
+// completionDetail verifies the protocol's completion condition over the
+// final node reports, independent of Spec.ExpectComplete: "" when every
+// correct node holds what the protocol promises.
+func completionDetail(spec scenario.Spec, reports []*NodeReport) string {
+	if len(reports) < spec.N {
+		return fmt.Sprintf("only %d/%d node reports", len(reports), spec.N)
+	}
+	byID := make(map[int]*NodeReport, len(reports))
+	for _, rp := range reports {
+		byID[rp.ID] = rp
+	}
+	if scenario.IsSpreadProtocol(spec.Protocol) {
+		for _, rp := range reports {
+			if rp.Crashed {
+				continue
+			}
+			if !rp.HasInformed {
+				return fmt.Sprintf("node %d reports no informed bit", rp.ID)
+			}
+			if !rp.Informed {
+				return fmt.Sprintf("correct node %d is uninformed", rp.ID)
+			}
+		}
+		return ""
+	}
+	if scenario.IsAveragingProtocol(spec.Protocol) {
+		mean := 0.0
+		for _, rp := range reports {
+			if !rp.HasAvg {
+				return fmt.Sprintf("node %d reports no averaging state", rp.ID)
+			}
+			mean += rp.Initial
+		}
+		mean /= float64(spec.N)
+		eps := core.Params{N: spec.N, F: spec.F}.WithDefaults().AvgEpsilon
+		for _, rp := range reports {
+			if rp.Crashed {
+				continue
+			}
+			if rp.Weight <= 0 {
+				return fmt.Sprintf("correct node %d holds non-positive weight %v", rp.ID, rp.Weight)
+			}
+			if got := rp.Sum / rp.Weight; math.Abs(got-mean) > eps {
+				return fmt.Sprintf("correct node %d estimates %v, mean is %v (ε=%v)", rp.ID, got, mean, eps)
+			}
+		}
+		return ""
+	}
+	need := spec.N/2 + 1
+	for _, rp := range reports {
+		if rp.Crashed {
+			continue
+		}
+		if !rp.HasRumors {
+			return fmt.Sprintf("node %d reports no rumor set", rp.ID)
+		}
+		if spec.Majority {
+			if rp.RumorCount < need {
+				return fmt.Sprintf("correct node %d holds %d rumors, majority needs %d", rp.ID, rp.RumorCount, need)
+			}
+			continue
+		}
+		held := make(map[int]bool, len(rp.Rumors))
+		for _, r := range rp.Rumors {
+			held[r] = true
+		}
+		for r := 0; r < spec.N; r++ {
+			if other := byID[r]; other != nil && !other.Crashed && !held[r] {
+				return fmt.Sprintf("correct node %d lacks rumor of correct node %d", rp.ID, r)
+			}
+		}
+	}
+	return ""
+}
+
+// checkLiveMessageEnvelope: total sends stay within the spec's Table 1
+// bound times the live slack. Send budgets are protocol state — pacing
+// does not change how many messages a node may emit — so the live bound
+// tracks the simulator's closely.
+func checkLiveMessageEnvelope(res *Result) string {
+	bound := scenario.MessageEnvelope(res.Spec)
+	if bound <= 0 {
+		return ""
+	}
+	if allowed := bound * liveMsgSlack; float64(res.TotalSent) > allowed {
+		return fmt.Sprintf("%d messages sent, live envelope allows %.0f", res.TotalSent, allowed)
+	}
+	return ""
+}
+
+// checkLiveTimeEnvelope: wall clock to quiescence stays within the
+// spec's step bound converted at the run's pacing, times the live slack,
+// plus a fixed grace for discovery and quiescence confirmation.
+func checkLiveTimeEnvelope(res *Result) string {
+	bound := scenario.TimeEnvelope(res.Spec)
+	if bound <= 0 {
+		return ""
+	}
+	if res.TimedOut {
+		return "cluster did not quiesce before the driver timeout"
+	}
+	allowed := time.Duration(bound*liveTimeSlack*float64(res.StepEvery)) + liveTimeGrace
+	if res.QuiesceWall > allowed {
+		return fmt.Sprintf("quiesced after %v, live envelope allows %v", res.QuiesceWall, allowed)
+	}
+	return ""
+}
+
+// checkLiveOffEdge: topology-aware protocols never attempt a send along a
+// non-edge (the node runtime counts attempts before filtering them).
+func checkLiveOffEdge(res *Result) string {
+	if res.TotalOffEdge > 0 {
+		return fmt.Sprintf("%d sends attempted on non-edges of %s", res.TotalOffEdge, res.Spec.Topology)
+	}
+	return ""
+}
+
+// checkLivePostCrash: no node sends after its own crash. Both events come
+// from the same node's local trace, so their order is exact even though
+// cross-node clocks only share the host clock.
+func checkLivePostCrash(res *Result) string {
+	crashAt := make(map[int32]int64)
+	for _, e := range res.Trace {
+		if e.Kind == EventCrash {
+			crashAt[e.Proc] = e.T
+		}
+	}
+	for _, e := range res.Trace {
+		if e.Kind != EventSend {
+			continue
+		}
+		if t, ok := crashAt[e.Proc]; ok && e.T > t {
+			return fmt.Sprintf("node %d sent to %d at t=%dns, after crashing at t=%dns", e.Proc, e.Peer, e.T, t)
+		}
+	}
+	return ""
+}
+
+// checkLiveCreditBalance: the cluster-wide credit count closed — every
+// send was eventually received or drained, and none failed in transport.
+// This is the harness's own soundness check; a violation means lost
+// messages, not a protocol bug.
+func checkLiveCreditBalance(res *Result) string {
+	if res.TotalSendFails > 0 {
+		return fmt.Sprintf("%d sends failed in transport", res.TotalSendFails)
+	}
+	if res.TotalSent != res.TotalReceived+res.TotalDrained {
+		return fmt.Sprintf("credit imbalance: sent=%d received=%d drained=%d",
+			res.TotalSent, res.TotalReceived, res.TotalDrained)
+	}
+	return ""
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Live event trace: the cluster rides the existing sim.Tracer seam, but
+// with wall-clock semantics — in this package sim.Time values are
+// nanoseconds since the shared run epoch (all processes live on one host
+// clock). That convention lets every tracer-based tool (telemetry
+// recorders, NDJSON exporters, the checker idioms) observe a live run
+// unchanged, and gives delivery latencies directly as t − SentAt.
+
+// Live event kinds.
+const (
+	EventSend    = "send"
+	EventDeliver = "deliver"
+	EventCrash   = "crash"
+)
+
+// LiveEvent is one wall-clock event in a node's local trace. T and SentAt
+// are nanoseconds since the run epoch.
+type LiveEvent struct {
+	Kind string `json:"kind"`
+	T    int64  `json:"t"`
+	// Proc is the acting process: sender for send, receiver for deliver,
+	// the crashing process for crash.
+	Proc int32 `json:"proc"`
+	// Peer is the counterparty: target for send, sender for deliver.
+	Peer int32 `json:"peer,omitempty"`
+	// SentAt is the sender's send time for deliver events.
+	SentAt int64 `json:"sent_at,omitempty"`
+}
+
+// TraceRecorder is a sim.Tracer that captures a bounded wall-clock event
+// trace. Step events are counted but not stored (they dominate volume and
+// the oracles don't need them); past Cap, send/deliver events are dropped
+// and counted so a long run degrades gracefully instead of growing
+// without bound. Crash events are always retained — the crash-budget and
+// post-crash-silence oracles need every one.
+type TraceRecorder struct {
+	Cap     int
+	Events  []LiveEvent
+	Steps   int64
+	Dropped int64
+}
+
+var _ sim.Tracer = (*TraceRecorder)(nil)
+
+// NewTraceRecorder returns a recorder bounded to cap events (0 selects
+// the 1<<18 default).
+func NewTraceRecorder(cap int) *TraceRecorder {
+	if cap <= 0 {
+		cap = 1 << 18
+	}
+	return &TraceRecorder{Cap: cap}
+}
+
+func (tr *TraceRecorder) add(e LiveEvent) {
+	if len(tr.Events) >= tr.Cap && e.Kind != EventCrash {
+		tr.Dropped++
+		return
+	}
+	tr.Events = append(tr.Events, e)
+}
+
+// OnStep implements sim.Tracer.
+func (tr *TraceRecorder) OnStep(p sim.ProcID, t sim.Time) { tr.Steps++ }
+
+// OnSend implements sim.Tracer.
+func (tr *TraceRecorder) OnSend(m sim.Message) {
+	tr.add(LiveEvent{Kind: EventSend, T: int64(m.SentAt), Proc: int32(m.From), Peer: int32(m.To)})
+}
+
+// OnDeliver implements sim.Tracer.
+func (tr *TraceRecorder) OnDeliver(m sim.Message, t sim.Time) {
+	tr.add(LiveEvent{Kind: EventDeliver, T: int64(t), Proc: int32(m.To), Peer: int32(m.From), SentAt: int64(m.SentAt)})
+}
+
+// OnCrash implements sim.Tracer.
+func (tr *TraceRecorder) OnCrash(p sim.ProcID, t sim.Time) {
+	tr.add(LiveEvent{Kind: EventCrash, T: int64(t), Proc: int32(p)})
+}
+
+// MergeTraces concatenates per-node traces and sorts by wall time (ties
+// broken by process then kind for deterministic output from a given set
+// of events).
+func MergeTraces(traces ...[]LiveEvent) []LiveEvent {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make([]LiveEvent, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// LatencySummary aggregates delivery latency (deliver.T − deliver.SentAt)
+// over a merged trace, in nanoseconds.
+type LatencySummary struct {
+	Count              int64
+	P50, P90, P99, Max int64
+}
+
+// Latencies computes the delivery-latency summary of a merged trace.
+func Latencies(trace []LiveEvent) LatencySummary {
+	var ls []int64
+	for _, e := range trace {
+		if e.Kind == EventDeliver {
+			if d := e.T - e.SentAt; d >= 0 {
+				ls = append(ls, d)
+			}
+		}
+	}
+	sum := LatencySummary{Count: int64(len(ls))}
+	if len(ls) == 0 {
+		return sum
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(ls)-1))
+		return ls[i]
+	}
+	sum.P50, sum.P90, sum.P99, sum.Max = q(0.50), q(0.90), q(0.99), ls[len(ls)-1]
+	return sum
+}

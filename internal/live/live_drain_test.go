@@ -1,0 +1,147 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// timedFlood sends one message per step at target until the cutoff, then
+// quiesces. It keeps a crashed receiver's drain loop busy well past the
+// crash instant.
+type timedFlood struct {
+	id, target sim.ProcID
+	until      sim.Time // ms since start
+	done       bool
+}
+
+func (f *timedFlood) ID() sim.ProcID { return f.id }
+func (f *timedFlood) Step(now sim.Time, _ []sim.Message, out *sim.Outbox) {
+	if now < f.until {
+		out.Send(f.target, int(now))
+		return
+	}
+	f.done = true
+}
+func (f *timedFlood) Quiescent() bool { return f.done }
+
+// quietNode does nothing and is always quiescent (a pure receiver).
+type quietNode struct{ id sim.ProcID }
+
+func (q *quietNode) ID() sim.ProcID                            { return q.id }
+func (q *quietNode) Step(sim.Time, []sim.Message, *sim.Outbox) {}
+func (q *quietNode) Quiescent() bool                           { return true }
+
+// A process that crashes mid-flood must keep draining its inbox so the
+// global credit count still closes; quiescence must then be detected with
+// every credit returned and the crashed inbox empty.
+func TestLiveCrashedProcessDrains(t *testing.T) {
+	cfg := liveCfg(2)
+	cfg.Crashes = map[sim.ProcID]time.Duration{1: time.Millisecond}
+	nodes := []sim.Node{
+		&timedFlood{id: 0, target: 1, until: 8},
+		&quietNode{id: 1},
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crashed) != 1 || rep.Crashed[0] != 1 {
+		t.Fatalf("crashed = %v, want [1]", rep.Crashed)
+	}
+	if rep.Messages == 0 {
+		t.Fatal("flood sent nothing")
+	}
+	if got := cl.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d after quiescence, want 0", got)
+	}
+	if pending := len(cl.inboxes[1]); pending != 0 {
+		t.Fatalf("%d messages left in crashed inbox", pending)
+	}
+}
+
+// pongNode replies to every delivery until it has received `want`
+// messages; node 0 serves. Total traffic is then exactly 2·want+1
+// messages, so the assertion fails if credit counting ever lets the
+// monitor declare quiescence while a message is still in flight (the
+// reply it would have triggered goes missing).
+type pongNode struct {
+	id, peer sim.ProcID
+	want     int
+	got      int
+	started  bool
+}
+
+func (p *pongNode) ID() sim.ProcID { return p.id }
+func (p *pongNode) Step(_ sim.Time, inbox []sim.Message, out *sim.Outbox) {
+	if p.id == 0 && !p.started {
+		p.started = true
+		out.Send(p.peer, 0)
+	}
+	for range inbox {
+		p.got++
+		if p.got <= p.want {
+			out.Send(p.peer, 0)
+		}
+	}
+}
+func (p *pongNode) Quiescent() bool { return p.id != 0 || p.started }
+
+func TestLiveCreditCountingExact(t *testing.T) {
+	const want = 40
+	cfg := liveCfg(2)
+	nodes := []sim.Node{
+		&pongNode{id: 0, peer: 1, want: want},
+		&pongNode{id: 1, peer: 0, want: want},
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 opening message + `want` replies from each side.
+	if exp := int64(2*want + 1); rep.Messages != exp {
+		t.Fatalf("messages = %d, want %d (premature quiescence loses replies)", rep.Messages, exp)
+	}
+	if got := cl.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d after quiescence, want 0", got)
+	}
+}
+
+// Every credit must come home even when crashes hit a real protocol run.
+func TestLiveCreditBalanceWithCrashes(t *testing.T) {
+	cfg := liveCfg(16)
+	cfg.Crashes = map[sim.ProcID]time.Duration{
+		4:  time.Millisecond,
+		9:  2 * time.Millisecond,
+		13: 3 * time.Millisecond,
+	}
+	params := core.Params{N: cfg.N, F: len(cfg.Crashes), NoPool: true}
+	nodes, err := core.NewNodes(core.EARS{}, params, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(cfg, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Run(core.EARS{}.Evaluator(params.WithDefaults()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("%+v", rep)
+	}
+	if got := cl.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d after quiescence, want 0", got)
+	}
+}

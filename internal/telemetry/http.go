@@ -1,0 +1,20 @@
+package telemetry
+
+import "net/http"
+
+// MetricsHandler serves a live OpenMetrics scrape endpoint: each request
+// renders the Snapshot (plus extra gauges) returned by snap at that
+// moment. The callback decouples the HTTP goroutine from the
+// single-goroutine Recorder that produces snapshots — publish an
+// atomically swapped copy from the recording goroutine and return it
+// here, as internal/cluster's node runtime does.
+func MetricsHandler(snap func() (Snapshot, []Gauge)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s, extra := snap()
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := WriteOpenMetrics(w, s, extra...); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+}
